@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation (related-work extension): anytime inference on MOUSE.
+ * The "What's Next" architecture's approximation idea applied to
+ * the SVM benchmarks: evaluate support vectors most-important-first
+ * and stop early.  Reports accuracy vs energy per prefix fraction —
+ * accuracy on the synthetic HAR-shaped problem, energy from the
+ * trace model with the truncated workload at 60 uW.
+ */
+
+#include <cstdio>
+
+#include "ml/anytime.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    // Train a HAR-shaped SVM with enough noise that truncation has
+    // visible cost.
+    const Dataset train =
+        makeSynthetic(DataShape::HarLike, 420, 3, 130.0);
+    const Dataset test =
+        makeSynthetic(DataShape::HarLike, 260, 4, 130.0);
+    const SvmModel model = rankByCoefficient(trainSvm(train));
+    std::printf("anytime SVM (HAR-shaped synthetic): %zu support "
+                "vectors total\n\n",
+                model.totalSupportVectors());
+
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    std::printf("%-10s %8s %12s %14s %16s\n", "fraction", "#SV",
+                "accuracy", "energy (uJ)", "latency@60uW(us)");
+    bench::printRule(64);
+    for (double fraction : {0.125, 0.25, 0.5, 0.75, 1.0}) {
+        const SvmModel t = truncateModel(model, fraction);
+        const double acc = svmAccuracy(t, test);
+
+        SvmWorkload work = SvmWorkload::fromModel(
+            "har-anytime", t, shapeFeatures(DataShape::HarLike), 8);
+        MouseShape shape;
+        shape.numDataTiles = 112;
+        const Trace trace = buildSvmTrace(lib, work, shape);
+        HarvestConfig harvest;
+        harvest.sourcePower = 60e-6;
+        const RunStats stats = runHarvestedTrace(trace, energy,
+                                                 harvest);
+        std::printf("%-10.3f %8zu %11.1f%% %14.3f %16.0f\n",
+                    fraction, t.totalSupportVectors(), 100.0 * acc,
+                    stats.totalEnergy() * 1e6,
+                    stats.totalTime() * 1e6);
+    }
+    std::printf(
+        "\nReading: energy scales ~linearly with the evaluated "
+        "prefix while accuracy climbs the\ncoefficient-ranked "
+        "curve, so an anytime schedule lets a deployment pick its "
+        "point on\nthe accuracy/inferences-per-charge frontier — "
+        "the What's Next trade the paper cites,\nrealized on "
+        "MOUSE.  (Chunked evaluation stays intermittent-safe: the "
+        "interim scores live\nin non-volatile rows like everything "
+        "else.)\n");
+    return 0;
+}

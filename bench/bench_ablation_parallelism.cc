@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation (paper Section IV-C and VI): the parallelism / power-draw
+ * trade-off.  Column-level parallelism multiplies instruction power;
+ * a power-budgeted deployment must cap the number of simultaneously
+ * active columns.  The paper's example: a 60 uW budget (35 % of a
+ * 171 uW source) limits the least efficient configuration to ~4
+ * parallel columns; and operating 1024 columns on Modern STT draws
+ * ~15 mW.
+ */
+
+#include <cstdio>
+
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    std::printf("Ablation: instruction power draw vs active "
+                "columns\n\n");
+    std::printf("%-14s", "columns");
+    for (TechConfig tech : bench::allTechs()) {
+        std::printf(" %18s",
+                    makeDeviceConfig(tech).name().c_str());
+    }
+    std::printf("\n");
+    bench::printRule(72);
+
+    for (unsigned cols : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+        std::printf("%-14u", cols);
+        for (TechConfig tech : bench::allTechs()) {
+            const GateLibrary lib(makeDeviceConfig(tech));
+            const EnergyModel energy(lib);
+            const Joules per_cycle =
+                energy.fetchEnergy() +
+                energy.estimateInstructionEnergy(Opcode::kGateNand2,
+                                                 cols) +
+                energy.backupEnergyPerCycle();
+            const Watts power = per_cycle / energy.cycleTime();
+            std::printf(" %15.1f uW", power * 1e6);
+        }
+        std::printf("\n");
+    }
+
+    // Max columns within a 60 uW budget, per configuration.
+    std::printf("\nMax parallel columns within a 60 uW power "
+                "budget:\n");
+    for (TechConfig tech : bench::allTechs()) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        unsigned cols = 0;
+        while (true) {
+            const Joules per_cycle =
+                energy.fetchEnergy() +
+                energy.estimateInstructionEnergy(Opcode::kGateNand2,
+                                                 cols + 1) +
+                energy.backupEnergyPerCycle();
+            if (per_cycle / energy.cycleTime() > 60e-6) {
+                break;
+            }
+            ++cols;
+            if (cols >= 1 << 20) {
+                break;
+            }
+        }
+        std::printf("  %-14s: %u columns\n",
+                    lib.config().name().c_str(), cols);
+    }
+    std::printf("\nPaper reference: ~4 columns at 60 uW on the least "
+                "efficient configuration;\n~15 mW for 1024 columns "
+                "on Modern STT.\n");
+
+    // Second half: the latency / peak-power trade-off on a real
+    // workload (Section IV-C: "a trade-off between latency and
+    // power draw").  SVM ADULT on Projected STT with the mapping's
+    // parallelism cap swept down.
+    std::printf("\nWorkload under a parallelism cap "
+                "(SVM ADULT, Projected STT, continuous):\n");
+    std::printf("%-14s %14s %16s %14s\n", "cap (cols)",
+                "latency (us)", "peak power (uW)", "batches");
+    bench::printRule(62);
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    const auto benchmarks = bench::paperBenchmarks();
+    for (std::uint64_t cap : {0ull, 1024ull, 256ull, 64ull, 16ull}) {
+        MouseShape shape;
+        shape.numDataTiles = benchmarks[3].dataTiles;
+        shape.maxActiveColumns = cap;
+        MappingInfo info;
+        const Trace trace =
+            buildSvmTrace(lib, benchmarks[3].svm, shape, &info);
+        const RunStats stats = runContinuousTrace(trace, energy);
+        const Watts peak =
+            (energy.fetchEnergy() +
+             energy.estimateInstructionEnergy(
+                 Opcode::kGateNand2,
+                 static_cast<unsigned>(info.peakActiveColumns)) +
+             energy.backupEnergyPerCycle()) /
+            energy.cycleTime();
+        const std::string cap_label =
+            cap == 0 ? "unlimited" : std::to_string(cap);
+        std::printf("%-14s %14.0f %16.1f %14u\n", cap_label.c_str(),
+                    stats.totalTime() * 1e6, peak * 1e6,
+                    info.batches);
+    }
+    std::printf("\nHalving the cap roughly halves peak power and "
+                "doubles latency — the fine-grained\ntuning the "
+                "paper describes for matching a deployment's power "
+                "budget.\n");
+    return 0;
+}

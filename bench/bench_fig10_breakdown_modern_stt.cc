@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 10 regeneration: Modern STT breakdown at 60 uW.
+ */
+
+#include "breakdown_common.hh"
+
+int
+main()
+{
+    return mouse::bench::runBreakdown(
+        mouse::TechConfig::ModernStt, "Figure 10");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 11 regeneration: Projected STT breakdown at 60 uW.
+ */
+
+#include "breakdown_common.hh"
+
+int
+main()
+{
+    return mouse::bench::runBreakdown(
+        mouse::TechConfig::ProjectedStt, "Figure 11");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 12 regeneration: SHE breakdown at 60 uW.
+ */
+
+#include "breakdown_common.hh"
+
+int
+main()
+{
+    return mouse::bench::runBreakdown(
+        mouse::TechConfig::ProjectedShe, "Figure 12");
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9 regeneration: inference latency vs harvested power for
+ * every benchmark, on all three MOUSE configurations, against SONIC.
+ *
+ * One series per (configuration, benchmark): latency in us at each
+ * power point from 60 uW to 5 mW.  The paper's qualitative claims
+ * to check against the output:
+ *   - latency falls roughly as 1/power until the source sustains
+ *     continuous operation;
+ *   - SHE < Projected STT < Modern STT at every power point;
+ *   - every MOUSE configuration beats SONIC by orders of magnitude.
+ */
+
+#include <cstdio>
+
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    const auto powers = bench::powerSweep();
+
+    std::printf("Figure 9: latency (us) vs power source\n\n");
+    std::printf("%-14s %-18s", "config", "benchmark");
+    for (Watts p : powers) {
+        std::printf(" %11.0fuW", p * 1e6);
+    }
+    std::printf("\n");
+    bench::printRule(120);
+
+    for (TechConfig tech : bench::allTechs()) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        for (const auto &b : bench::paperBenchmarks()) {
+            const Trace trace = bench::traceFor(lib, b);
+            std::printf("%-14s %-18s",
+                        lib.config().name().c_str(), b.name.c_str());
+            for (Watts p : powers) {
+                HarvestConfig harvest;
+                harvest.sourcePower = p;
+                const RunStats stats =
+                    runHarvestedTrace(trace, energy, harvest);
+                std::printf(" %13.0f", stats.totalTime() * 1e6);
+            }
+            std::printf("\n");
+        }
+        bench::printRule(120);
+    }
+
+    // SONIC reference series.
+    for (const auto &sb : {sonicMnist(), sonicHar()}) {
+        const SonicModel sonic(sb);
+        std::printf("%-14s %-18s", "MSP430", sb.name.c_str());
+        for (Watts p : powers) {
+            std::printf(" %13.0f",
+                        sonic.runHarvested(p).totalTime() * 1e6);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nShape checks: within each benchmark column, "
+                "Modern STT > Projected STT > SHE,\nand every MOUSE "
+                "row is far below the SONIC rows.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section X's related-work comparison, made measurable: FFT on
+ * MOUSE.  The paper cites a THU1010N-class non-volatile processor
+ * finishing MiBench FFT in 4.2 ms and CRAFFT (same CRAM substrate,
+ * no intermittent safety) in 1.63 ms, and argues that making the
+ * CRAM FFT intermittent-safe "in the same manner [as] MOUSE would
+ * introduce a latency penalty".  This bench maps a 1024-point 16-bit
+ * FFT with MOUSE's per-instruction checkpointing and reports both
+ * the continuous-power latency (the penalty vs CRAFFT's 1.63 ms)
+ * and the harvested latency across the power sweep.
+ */
+
+#include <cstdio>
+
+#include "compile/fft.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    const FftWorkload work{1024, 16};
+    std::printf("FFT on MOUSE: %u-point, %u-bit fixed point\n\n",
+                work.points, work.bits);
+
+    std::printf("%-14s %10s %14s %14s %16s\n", "config", "stages",
+                "instructions", "latency (us)", "energy (uJ)");
+    bench::printRule(74);
+    for (TechConfig tech : bench::allTechs()) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        FftMappingInfo info;
+        // 64 MB-class provisioning: plenty of columns for all 512
+        // butterflies at once.
+        const Trace trace =
+            buildFftTrace(lib, work, 448ull * 1024, 1024, &info);
+        const RunStats stats = runContinuousTrace(trace, energy);
+        std::printf("%-14s %10u %14llu %14.0f %16.2f\n",
+                    lib.config().name().c_str(), info.stages,
+                    static_cast<unsigned long long>(
+                        info.totalInstructions),
+                    stats.totalTime() * 1e6,
+                    stats.totalEnergy() * 1e6);
+    }
+    std::printf(
+        "\nReference points (paper Section X): NVP FFT 4200 us; "
+        "CRAFFT (no intermittent\nsafety, hand-optimized) 1630 us.  "
+        "The Modern STT row above carries MOUSE's\nper-instruction "
+        "checkpointing — the 'latency penalty' the paper "
+        "predicts.\n");
+
+    std::printf("\nHarvested latency, Modern STT:\n%-12s %16s\n",
+                "source", "latency (us)");
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    const Trace trace = buildFftTrace(lib, work, 448ull * 1024, 1024);
+    for (Watts p : {60e-6, 500e-6, 5e-3}) {
+        HarvestConfig harvest;
+        harvest.sourcePower = p;
+        const RunStats stats = runHarvestedTrace(trace, energy,
+                                                 harvest);
+        std::printf("%9.0f uW %16.0f\n", p * 1e6,
+                    stats.totalTime() * 1e6);
+    }
+    return 0;
+}

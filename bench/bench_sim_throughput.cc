@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: gate
+ * operating-point solving, tile-level functional execution, and
+ * trace-level simulation throughput.  These guard against
+ * performance regressions that would make the Figure 9 sweeps
+ * impractical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compile/builder.hh"
+#include "controller/controller.hh"
+#include "sim/simulator.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+namespace
+{
+
+void
+BM_SolveGateLibrary(benchmark::State &state)
+{
+    const DeviceConfig cfg = makeDeviceConfig(TechConfig::ModernStt);
+    for (auto _ : state) {
+        GateLibrary lib(cfg);
+        benchmark::DoNotOptimize(&lib);
+    }
+}
+BENCHMARK(BM_SolveGateLibrary);
+
+void
+BM_TileGateExecution(benchmark::State &state)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    Tile tile(1024, 1024);
+    ColumnSet cols(1024);
+    cols.addRange(0, static_cast<ColAddr>(state.range(0) - 1));
+    for (auto _ : state) {
+        auto r = tile.executeGate(lib, GateType::kNand2, {0, 2, 0},
+                                  1, cols);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TileGateExecution)->Arg(16)->Arg(256)->Arg(1024);
+
+void
+BM_FunctionalAdder(benchmark::State &state)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    ArrayConfig cfg;
+    cfg.tileRows = 128;
+    cfg.tileCols = 8;
+    cfg.numDataTiles = 1;
+    cfg.numInstructionTiles = 64;
+    KernelBuilder kb(lib, cfg, 0, 20);
+    kb.activate(0, 7);
+    Word s = kb.add(kb.pinnedWord(0, 4), kb.pinnedWord(8, 4));
+    (void)s;
+    const Program prog = kb.finish();
+    const EnergyModel energy(lib);
+    for (auto _ : state) {
+        TileGrid grid(cfg, lib);
+        InstructionMemory imem(cfg);
+        imem.load(prog.encode());
+        Controller ctrl(grid, imem, energy);
+        while (!ctrl.halted()) {
+            ctrl.step();
+        }
+        benchmark::DoNotOptimize(&grid);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(prog.size()));
+}
+BENCHMARK(BM_FunctionalAdder);
+
+void
+BM_HarvestedTraceSvmMnist(benchmark::State &state)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    const auto benchmarks = bench::paperBenchmarks();
+    const Trace trace = bench::traceFor(lib, benchmarks[0]);
+    HarvestConfig harvest;
+    harvest.sourcePower = 60e-6;
+    for (auto _ : state) {
+        const RunStats s = runHarvestedTrace(trace, energy, harvest);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(trace.totalInstructions()));
+}
+BENCHMARK(BM_HarvestedTraceSvmMnist);
+
+} // namespace
+
+BENCHMARK_MAIN();

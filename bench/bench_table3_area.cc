@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table III regeneration: die area required for each benchmark and
+ * configuration, from the NVSim-calibrated area model.
+ */
+
+#include <cstdio>
+
+#include "energy/area_model.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    std::printf("Table III: area required for MOUSE (mm^2)\n");
+    std::printf("%-18s %12s %12s %14s %8s\n", "Benchmark",
+                "Total Memory", "Modern STT", "Projected STT",
+                "SHE");
+    bench::printRule(70);
+    for (const auto &b : bench::paperBenchmarks()) {
+        std::printf("%-18s %9.0f MB %12.2f %14.2f %8.2f\n",
+                    b.name.c_str(), b.capacityMB,
+                    mouseArea(TechConfig::ModernStt, b.capacityMB),
+                    mouseArea(TechConfig::ProjectedStt,
+                              b.capacityMB),
+                    mouseArea(TechConfig::ProjectedShe,
+                              b.capacityMB));
+    }
+    std::printf(
+        "\nPaper values (mm^2): 64MB 50.98/38.67/77.35, "
+        "8MB 5.43/4.13/8.24,\n16MB 10.86/8.24/16.48, "
+        "1MB 0.71/0.53/1.06.\n");
+    return 0;
+}

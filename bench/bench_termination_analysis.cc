@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static forward-progress analysis of every benchmark x technology
+ * (paper Sections I and IV-C: non-termination avoidance).  For each
+ * pair, reports the burst energy, the binding instruction cost, the
+ * safety margin, and the smallest buffer capacitor that would still
+ * guarantee progress — plus the maximum safe column-parallelism.
+ */
+
+#include <cstdio>
+
+#include "sim/termination.hh"
+#include "workloads.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    std::printf("Static forward-progress analysis "
+                "(paper-provisioned buffers)\n\n");
+    std::printf("%-14s %-18s %12s %14s %10s %12s\n", "config",
+                "benchmark", "burst (nJ)", "worst op (pJ)",
+                "margin", "min cap(nF)");
+    bench::printRule(86);
+    for (TechConfig tech : bench::allTechs()) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        for (const auto &b : bench::paperBenchmarks()) {
+            const Trace trace = bench::traceFor(lib, b);
+            const TerminationReport r =
+                analyzeTermination(trace, energy, HarvestConfig{});
+            std::printf("%-14s %-18s %12.2f %14.2f %9.0fx %12.2f\n",
+                        lib.config().name().c_str(), b.name.c_str(),
+                        r.burstEnergy * 1e9,
+                        (r.worstInstructionEnergy +
+                         r.worstRestoreEnergy) *
+                            1e12,
+                        r.margin, r.minCapacitance * 1e9);
+            if (!r.terminates) {
+                std::printf("  ^^ NON-TERMINATING\n");
+            }
+        }
+        std::printf("  max safe gate parallelism on %s: %u "
+                    "columns\n",
+                    lib.config().name().c_str(),
+                    maxSafeParallelism(energy, HarvestConfig{}));
+        bench::printRule(86);
+    }
+    std::printf("\nEvery paper configuration clears the check by "
+                "orders of magnitude — the buffers are\nsized for "
+                "energy delivery, not bare progress; the min-cap "
+                "column shows how much\nsmaller a Capybara-style "
+                "system could provision them.\n");
+    return 0;
+}

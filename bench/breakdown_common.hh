@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared implementation for the Figure 10/11/12 breakdown benches:
+ * latency and energy split into Total / Backup / Dead / Restore for
+ * every benchmark at the 60 uW power source, per configuration.
+ */
+
+#ifndef MOUSE_BENCH_BREAKDOWN_COMMON_HH
+#define MOUSE_BENCH_BREAKDOWN_COMMON_HH
+
+#include <cstdio>
+
+#include "workloads.hh"
+
+namespace mouse::bench
+{
+
+inline int
+runBreakdown(TechConfig tech, const char *figure)
+{
+    const GateLibrary lib(makeDeviceConfig(tech));
+    const EnergyModel energy(lib);
+    std::printf("%s: latency/energy breakdown, %s @ 60 uW\n\n",
+                figure, lib.config().name().c_str());
+    std::printf("%-18s | %12s %12s %12s | %12s %12s %12s %12s\n",
+                "benchmark", "lat tot(us)", "lat dead", "lat rest",
+                "E tot(uJ)", "E backup", "E dead", "E restore");
+    printRule(124);
+
+    double dead_e_share = 0.0;
+    double restore_e_share = 0.0;
+    double backup_e_share = 0.0;
+    double dead_t_share = 0.0;
+    double restore_t_share = 0.0;
+    int n = 0;
+
+    for (const auto &b : paperBenchmarks()) {
+        const Trace trace = traceFor(lib, b);
+        HarvestConfig harvest;
+        harvest.sourcePower = 60e-6;
+        const RunStats s = runHarvestedTrace(trace, energy, harvest);
+        std::printf(
+            "%-18s | %12.0f %12.3f %12.3f | %12.2f %12.4f %12.4f "
+            "%12.4f\n",
+            b.name.c_str(), s.totalTime() * 1e6, s.deadTime * 1e6,
+            s.restoreTime * 1e6, s.totalEnergy() * 1e6,
+            s.backupEnergy * 1e6, s.deadEnergy * 1e6,
+            s.restoreEnergy * 1e6);
+        dead_e_share += s.deadEnergyShare();
+        restore_e_share += s.restoreEnergyShare();
+        backup_e_share += s.backupEnergyShare();
+        dead_t_share += s.deadTimeShare();
+        restore_t_share += s.restoreTimeShare();
+        ++n;
+    }
+    std::printf(
+        "\nAverages across benchmarks: Dead energy %.3f%%, Restore "
+        "energy %.3f%%, Backup energy %.3f%%,\nDead latency %.4f%%, "
+        "Restore latency %.4f%% of totals.\n",
+        100.0 * dead_e_share / n, 100.0 * restore_e_share / n,
+        100.0 * backup_e_share / n, 100.0 * dead_t_share / n,
+        100.0 * restore_t_share / n);
+    std::printf(
+        "Paper averages: Dead energy 7.4%% (Modern STT) / 2.52%% "
+        "(Projected STT) / 0.61%% (SHE);\nRestore energy 0.50%% / "
+        "0.13%% / 0.13%%; Backup 0.24%% / 0.27%% / 0.007%%.\n");
+    return 0;
+}
+
+} // namespace mouse::bench
+
+#endif // MOUSE_BENCH_BREAKDOWN_COMMON_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's Figure 8 walk-through: mapping parallel 2-bit integer
+ * addition onto MOUSE.
+ *
+ * Two additions run simultaneously: x = a + b in column 0 and
+ * y = c + d in column 1.  The example prints every stage the figure
+ * shows — variable-to-row assignment, the generated gate sequence
+ * (as MOUSE instructions, disassembled), and the per-instruction
+ * execution — then verifies the sums.
+ */
+
+#include <cstdio>
+
+#include "core/accelerator.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    MouseConfig cfg;
+    cfg.tech = TechConfig::ProjectedStt;
+    cfg.array.tileRows = 64;
+    cfg.array.tileCols = 4;
+    cfg.array.numDataTiles = 2;
+    cfg.array.numInstructionTiles = 64;
+    Accelerator acc(cfg);
+
+    // Stage 1 (Figure 8 left): variable assignment.  First addends
+    // at rows 0/2, second addends at rows 4/6, sums at rows 8/10/12;
+    // scratch comes from the odd rows and higher even rows.
+    std::printf("stage 1: variable assignment (tile 1)\n");
+    std::printf("  a,c -> rows 0,2   b,d -> rows 4,6   "
+                "x,y -> rows of the sum word\n\n");
+
+    KernelBuilder kb(acc.gateLibrary(), cfg.array, /*tile=*/1,
+                     /*first_free_row=*/8);
+    kb.activate(0, 1);  // columns 0 and 1 compute in parallel
+    const Word first = kb.pinnedWord(0, 2);   // rows 0, 2
+    const Word second = kb.pinnedWord(4, 2);  // rows 4, 6
+    const Word sum = kb.add(first, second);   // 3-bit result
+    const Program prog = kb.finish();
+
+    // Stage 2 (Figure 8 middle/right): the gate sequence as MOUSE
+    // instructions.
+    std::printf("stage 2: generated MOUSE instructions (%zu)\n",
+                prog.size());
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        std::printf("  %2zu: %s\n", i,
+                    prog.instructions[i].disassemble().c_str());
+    }
+
+    // Stage 3: execution.  a=2, b=3 in column 0; c=1, d=3 in col 1.
+    acc.loadProgram(prog);
+    const unsigned a = 2;
+    const unsigned b = 3;
+    const unsigned c = 1;
+    const unsigned d = 3;
+    for (unsigned i = 0; i < 2; ++i) {
+        acc.grid().tile(1).setBit(static_cast<RowAddr>(2 * i), 0,
+                                  (a >> i) & 1);
+        acc.grid().tile(1).setBit(static_cast<RowAddr>(4 + 2 * i), 0,
+                                  (b >> i) & 1);
+        acc.grid().tile(1).setBit(static_cast<RowAddr>(2 * i), 1,
+                                  (c >> i) & 1);
+        acc.grid().tile(1).setBit(static_cast<RowAddr>(4 + 2 * i), 1,
+                                  (d >> i) & 1);
+    }
+    const RunStats stats = acc.runContinuous();
+
+    auto read_sum = [&](ColAddr col) {
+        unsigned v = 0;
+        for (std::size_t i = 0; i < sum.size(); ++i) {
+            v |= static_cast<unsigned>(
+                     acc.grid().tile(1).bit(sum[i].row, col))
+                 << i;
+        }
+        return v;
+    };
+    std::printf("\nstage 3: execution (%llu cycles, %.3f pJ)\n",
+                static_cast<unsigned long long>(
+                    stats.instructionsCommitted),
+                stats.totalEnergy() * 1e12);
+    std::printf("  column 0: %u + %u = %u (sum word rows %u/%u/%u)\n",
+                a, b, read_sum(0), sum[0].row, sum[1].row,
+                sum[2].row);
+    std::printf("  column 1: %u + %u = %u\n", c, d, read_sum(1));
+
+    const bool ok = read_sum(0) == a + b && read_sum(1) == c + d;
+    std::printf(ok ? "\nOK: both additions correct, computed in the "
+                     "same cycles via column parallelism.\n"
+                   : "\nFAILURE\n");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quickstart: build a tiny MOUSE accelerator, compile a multiply
+ * kernel with the gate-level builder, run it under continuous power
+ * AND under a 60 uW energy harvester with real power outages, and
+ * show that both runs produce identical results — the paper's
+ * instant-restartability property, in ~80 lines of user code.
+ */
+
+#include <cstdio>
+
+#include "core/accelerator.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    // A small accelerator: 1 data tile of 128x8, projected STT MTJs.
+    MouseConfig cfg;
+    cfg.tech = TechConfig::ProjectedStt;
+    cfg.array.tileRows = 128;
+    cfg.array.tileCols = 8;
+    cfg.array.numDataTiles = 1;
+    cfg.array.numInstructionTiles = 512;
+    Accelerator acc(cfg);
+
+    // Compile "product = a * b" for 6-bit operands, executed
+    // simultaneously in 4 SIMD columns.
+    KernelBuilder kb(acc.gateLibrary(), cfg.array, /*tile=*/0,
+                     /*first_free_row=*/24);
+    kb.activate(0, 3);
+    const Word a = kb.pinnedWord(/*start=*/0, /*bits=*/6);
+    const Word b = kb.pinnedWord(/*start=*/12, /*bits=*/6);
+    const Word product = kb.mulUnsigned(a, b);
+    const Program prog = kb.finish();
+    std::printf("compiled multiply kernel: %zu instructions\n",
+                prog.size());
+
+    // Seed operands: column c computes (7 + 9c) * (3 + 5c).
+    auto seed = [&](Accelerator &m) {
+        for (ColAddr c = 0; c < 4; ++c) {
+            const unsigned av = 7 + 9u * c;
+            const unsigned bv = 3 + 5u * c;
+            for (unsigned i = 0; i < 6; ++i) {
+                m.grid().tile(0).setBit(
+                    static_cast<RowAddr>(2 * i), c, (av >> i) & 1);
+                m.grid().tile(0).setBit(
+                    static_cast<RowAddr>(12 + 2 * i), c,
+                    (bv >> i) & 1);
+            }
+        }
+    };
+    auto read_product = [&](Accelerator &m, ColAddr c) {
+        unsigned v = 0;
+        for (std::size_t i = 0; i < product.size(); ++i) {
+            v |= static_cast<unsigned>(
+                     m.grid().tile(0).bit(product[i].row, c))
+                 << i;
+        }
+        return v;
+    };
+
+    // Run 1: continuous power.
+    acc.loadProgram(prog);
+    seed(acc);
+    const RunStats cont = acc.runContinuous();
+    std::printf("\ncontinuous power:\n%s\n", cont.summary().c_str());
+
+    // Run 2: a 60 uW harvester with a deliberately tiny buffer
+    // capacitor, so this small program is interrupted by real
+    // outages at arbitrary micro-steps.
+    Accelerator harvested(cfg);
+    harvested.loadProgram(prog);
+    seed(harvested);
+    HarvestConfig harvest;
+    harvest.sourcePower = 60e-6;
+    harvest.capacitanceOverride = 200e-12;  // 200 pF demo buffer
+    const RunStats harv = harvested.runHarvested(harvest);
+    std::printf("\n60 uW harvesting (%llu outages):\n%s\n",
+                static_cast<unsigned long long>(harv.outages),
+                harv.summary().c_str());
+
+    // Same answers, power failures notwithstanding.
+    std::printf("\nresults (continuous vs harvested):\n");
+    bool all_match = true;
+    for (ColAddr c = 0; c < 4; ++c) {
+        const unsigned expect = (7 + 9u * c) * (3 + 5u * c);
+        const unsigned v1 = read_product(acc, c);
+        const unsigned v2 = read_product(harvested, c);
+        std::printf("  col %u: %u vs %u (expected %u)%s\n", c, v1,
+                    v2, expect,
+                    v1 == expect && v2 == expect ? "" : "  MISMATCH");
+        all_match &= v1 == expect && v2 == expect;
+    }
+    std::printf(all_match ? "\nOK: intermittent execution matched "
+                            "continuous execution exactly.\n"
+                          : "\nFAILURE: results diverged!\n");
+    return all_match ? 0 : 1;
+}

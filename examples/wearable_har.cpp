@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Wearable-tech scenario (the paper's HAR motivation): a body-worn
+ * activity recognizer powered by a ~60 uW thermal harvester.
+ *
+ * This example exercises the full-scale performance path: train a
+ * HAR-shaped SVM on synthetic data, derive the MOUSE workload from
+ * the *trained model's* shape, map it onto a 16 MB accelerator, and
+ * sweep harvested power from body heat (60 uW) to an RF harvester
+ * (5 mW), reporting classification throughput per configuration.
+ */
+
+#include <cstdio>
+
+#include "energy/area_model.hh"
+#include "ml/mapping.hh"
+#include "sim/simulator.hh"
+
+using namespace mouse;
+
+int
+main()
+{
+    // Offline training on HAR-shaped synthetic data.
+    const Dataset train =
+        makeSynthetic(DataShape::HarLike, 400, 9, 20.0);
+    const Dataset test =
+        makeSynthetic(DataShape::HarLike, 160, 10, 20.0);
+    const SvmModel model = trainSvm(train);
+    std::printf("trained HAR SVM: %zu support vectors across %u "
+                "classes, accuracy %.1f%% (synthetic)\n",
+                model.totalSupportVectors(), model.numClasses,
+                100.0 * svmAccuracy(model, test));
+
+    // Derive the accelerator workload from the trained model.
+    const SvmWorkload work = SvmWorkload::fromModel(
+        "HAR (wearable)", model, shapeFeatures(DataShape::HarLike),
+        8);
+    MouseShape shape;
+    shape.numDataTiles = 112;  // 16 MB provisioning (Table III)
+
+    std::printf("\n%-14s %12s %14s %16s %12s\n", "config",
+                "area(mm2)", "latency@60uW", "inferences/hour",
+                "energy(uJ)");
+    for (TechConfig tech :
+         {TechConfig::ModernStt, TechConfig::ProjectedStt,
+          TechConfig::ProjectedShe}) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        MappingInfo info;
+        const Trace trace = buildSvmTrace(lib, work, shape, &info);
+        HarvestConfig harvest;
+        harvest.sourcePower = 60e-6;
+        const RunStats s = runHarvestedTrace(trace, energy, harvest);
+        std::printf("%-14s %12.2f %13.1fms %16.0f %12.2f\n",
+                    lib.config().name().c_str(),
+                    mouseAreaForFootprint(tech, info.totalMB()),
+                    s.totalTime() * 1e3, 3600.0 / s.totalTime(),
+                    s.totalEnergy() * 1e6);
+    }
+
+    // Power sweep on the projected STT configuration.
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    const Trace trace = buildSvmTrace(lib, work, shape);
+    std::printf("\nProjected STT power sweep:\n%-12s %14s %12s\n",
+                "source", "latency (ms)", "outages");
+    for (Watts p : {60e-6, 200e-6, 1e-3, 5e-3}) {
+        HarvestConfig harvest;
+        harvest.sourcePower = p;
+        const RunStats s = runHarvestedTrace(trace, energy, harvest);
+        std::printf("%9.0f uW %14.2f %12llu\n", p * 1e6,
+                    s.totalTime() * 1e3,
+                    static_cast<unsigned long long>(s.outages));
+    }
+    std::printf("\nEven on body heat alone, every configuration "
+                "classifies activity many times per\nhour with "
+                "microjoule-scale energy per inference.\n");
+    return 0;
+}

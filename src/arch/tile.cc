@@ -1,0 +1,199 @@
+#include "tile.hh"
+
+#include "common/logging.hh"
+#include "device/network.hh"
+
+namespace mouse
+{
+
+std::vector<ColAddr>
+ColumnSet::columns() const
+{
+    std::vector<ColAddr> out;
+    out.reserve(count_);
+    for (unsigned w = 0; w < words_.size(); ++w) {
+        std::uint64_t bits = words_[w];
+        while (bits) {
+            const int b = __builtin_ctzll(bits);
+            out.push_back(static_cast<ColAddr>(w * 64 + b));
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+Tile::Tile(unsigned rows, unsigned cols)
+    : rows_(rows), cols_(cols),
+      bits_((static_cast<std::size_t>(rows) * cols + 63) / 64, 0)
+{
+    mouse_assert(rows_ > 0 && cols_ > 0, "empty tile");
+    mouse_assert(rows_ <= 1024 && cols_ <= 1024,
+                 "tile exceeds 10-bit address space");
+}
+
+Bit
+Tile::bit(RowAddr row, ColAddr col) const
+{
+    mouse_assert(row < rows_ && col < cols_, "tile address OOB");
+    const std::size_t i = index(row, col);
+    return static_cast<Bit>((bits_[i >> 6] >> (i & 63)) & 1);
+}
+
+void
+Tile::setBit(RowAddr row, ColAddr col, Bit value)
+{
+    mouse_assert(row < rows_ && col < cols_, "tile address OOB");
+    const std::size_t i = index(row, col);
+    if (value) {
+        bits_[i >> 6] |= (1ULL << (i & 63));
+    } else {
+        bits_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+}
+
+GateExecResult
+Tile::executeGate(const GateLibrary &lib, GateType g,
+                  const std::array<RowAddr, 3> &in_rows, RowAddr out_row,
+                  const ColumnSet &active, double cycle_fraction)
+{
+    const SolvedGate &solved = lib.gate(g);
+    mouse_assert(solved.feasible, "gate not feasible for this tech");
+    const int n = gateNumInputs(g);
+    const DeviceConfig &cfg = lib.config();
+
+    // Parity rule (Section II-C): all inputs connect to one bitline
+    // (same row parity) and the output to the other.
+    const unsigned out_parity = out_row & 1;
+    for (int i = 0; i < n; ++i) {
+        mouse_assert(in_rows[static_cast<std::size_t>(i)] < rows_,
+                     "input row OOB");
+        mouse_assert((in_rows[static_cast<std::size_t>(i)] & 1) !=
+                         out_parity,
+                     "logic inputs must have opposite parity to output");
+    }
+    mouse_assert(out_row < rows_, "output row OOB");
+
+    // The current pulse occupies the head of the cycle; an interrupt
+    // that lands inside the pulse prevents every switch.
+    const double pulse_fraction = solved.pulseTime / cfg.cycleTime;
+    const bool pulse_completed = cycle_fraction >= pulse_fraction;
+    const double energy_fraction =
+        pulse_completed ? 1.0 : cycle_fraction / pulse_fraction;
+
+    GateExecResult result;
+    result.columns = active.count();
+    result.completed = pulse_completed;
+
+    const Bit target = static_cast<Bit>(!gatePreset(g));
+    // Logic-line span of this execution (parasitic wire length).
+    RowAddr row_lo = out_row;
+    RowAddr row_hi = out_row;
+    for (int i = 0; i < n; ++i) {
+        row_lo = std::min(row_lo,
+                          in_rows[static_cast<std::size_t>(i)]);
+        row_hi = std::max(row_hi,
+                          in_rows[static_cast<std::size_t>(i)]);
+    }
+    const unsigned span = static_cast<unsigned>(row_hi - row_lo);
+    mouse_assert(span <= solved.maxRowSpan ||
+                     cfg.wireResistancePerCell == 0.0,
+                 "operand span exceeds the solved operating point");
+    std::vector<MtjState> in_states(static_cast<std::size_t>(n));
+    for (ColAddr col : active.columns()) {
+        unsigned combo = 0;
+        for (int i = 0; i < n; ++i) {
+            const Bit b = bit(in_rows[static_cast<std::size_t>(i)], col);
+            in_states[static_cast<std::size_t>(i)] = stateFromBit(b);
+            combo |= static_cast<unsigned>(b) << i;
+        }
+        // Physical model: the current depends on the *actual* output
+        // state (not the nominal preset) so un-preset outputs behave
+        // honestly.
+        const Bit out_actual = bit(out_row, col);
+        const Amperes current = gateOutputCurrent(
+            cfg, solved.voltage, in_states,
+            stateFromBit(out_actual), span);
+        result.deviceEnergy +=
+            solved.voltage * current * solved.pulseTime * energy_fraction;
+        if (pulse_completed && current >= cfg.mtj.switchingCurrent) {
+            // Directionality: the pulse can only drive the output
+            // toward the gate's target value; if it is already there
+            // the state cannot revert (idempotency).
+            if (out_actual != target) {
+                setBit(out_row, col, target);
+                ++result.switched;
+            }
+        }
+    }
+    return result;
+}
+
+Joules
+Tile::presetRow(const GateLibrary &lib, RowAddr row, Bit value,
+                const ColumnSet &active, double cycle_fraction)
+{
+    mouse_assert(row < rows_, "preset row OOB");
+    const WriteOp &w = lib.writeOp();
+    const double pulse_fraction =
+        w.pulseTime / lib.config().cycleTime;
+    const bool completed = cycle_fraction >= pulse_fraction;
+    const double energy_fraction =
+        completed ? 1.0 : cycle_fraction / pulse_fraction;
+
+    Joules energy = 0.0;
+    for (ColAddr col : active.columns()) {
+        energy += w.energy * energy_fraction;
+        if (completed) {
+            setBit(row, col, value);
+        }
+    }
+    return energy;
+}
+
+Joules
+Tile::readRow(const GateLibrary &lib, RowAddr row,
+              std::vector<Bit> &out) const
+{
+    mouse_assert(row < rows_, "read row OOB");
+    out.resize(cols_);
+    for (ColAddr col = 0; col < cols_; ++col) {
+        out[col] = bit(row, col);
+    }
+    return lib.readOp().energy * cols_;
+}
+
+Joules
+Tile::writeRow(const GateLibrary &lib, RowAddr row,
+               const std::vector<Bit> &data, double cycle_fraction)
+{
+    mouse_assert(row < rows_, "write row OOB");
+    mouse_assert(data.size() >= cols_, "row data too small");
+    const WriteOp &w = lib.writeOp();
+    const double pulse_fraction =
+        w.pulseTime / lib.config().cycleTime;
+    const bool completed = cycle_fraction >= pulse_fraction;
+    const double energy_fraction =
+        completed ? 1.0 : cycle_fraction / pulse_fraction;
+
+    if (completed) {
+        for (ColAddr col = 0; col < cols_; ++col) {
+            setBit(row, col, data[col]);
+        }
+    }
+    return w.energy * cols_ * energy_fraction;
+}
+
+std::vector<Bit>
+Tile::snapshot() const
+{
+    std::vector<Bit> out;
+    out.reserve(static_cast<std::size_t>(rows_) * cols_);
+    for (RowAddr r = 0; r < rows_; ++r) {
+        for (ColAddr c = 0; c < cols_; ++c) {
+            out.push_back(bit(r, c));
+        }
+    }
+    return out;
+}
+
+} // namespace mouse

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * One MOUSE tile: a 1024x1024 STT/SHE MRAM array with in-array logic
+ * (paper Section II-C, Figure 5).
+ *
+ * The tile is the bit-exact functional model.  Every stored bit is an
+ * MTJ state; logic instructions are executed *physically*: the gate
+ * current is computed per active column from the actual input MTJ
+ * resistances through the solved operating voltage, and the output
+ * MTJ switches iff that current exceeds the critical current — with
+ * the direction constraint that makes every operation idempotent.
+ *
+ * Interrupted execution is modelled explicitly: an instruction cycle
+ * of length cycleTime carries its current pulse in the first
+ * pulseTime seconds; an interrupt before the pulse completes leaves
+ * all output MTJs unswitched, an interrupt after it behaves like a
+ * completed operation whose bookkeeping was lost.  Tests use this to
+ * prove the paper's Table I for every gate and input combination.
+ */
+
+#ifndef MOUSE_ARCH_TILE_HH
+#define MOUSE_ARCH_TILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "logic/gate_library.hh"
+
+namespace mouse
+{
+
+/** Set of active (latched) columns of the array. */
+class ColumnSet
+{
+  public:
+    explicit ColumnSet(unsigned num_cols = 1024)
+        : words_((num_cols + 63) / 64, 0), numCols_(num_cols)
+    {}
+
+    unsigned size() const { return numCols_; }
+
+    void
+    clear()
+    {
+        for (auto &w : words_) {
+            w = 0;
+        }
+        count_ = 0;
+    }
+
+    void
+    add(ColAddr col)
+    {
+        if (!test(col)) {
+            words_[col >> 6] |= (1ULL << (col & 63));
+            ++count_;
+        }
+    }
+
+    void
+    addRange(ColAddr lo, ColAddr hi)
+    {
+        for (ColAddr c = lo; c <= hi; ++c) {
+            add(c);
+        }
+    }
+
+    bool
+    test(ColAddr col) const
+    {
+        return (words_[col >> 6] >> (col & 63)) & 1;
+    }
+
+    /** Number of currently active columns. */
+    unsigned count() const { return count_; }
+
+    /** Enumerate active columns in ascending order. */
+    std::vector<ColAddr> columns() const;
+
+  private:
+    std::vector<std::uint64_t> words_;
+    unsigned numCols_;
+    unsigned count_ = 0;
+};
+
+/** Outcome summary of a column-parallel gate execution. */
+struct GateExecResult
+{
+    /** Number of active columns the gate ran in. */
+    unsigned columns = 0;
+    /** How many output MTJs actually switched. */
+    unsigned switched = 0;
+    /** Device (array) energy summed over columns. */
+    Joules deviceEnergy = 0.0;
+    /** True iff the pulse completed (not interrupted early). */
+    bool completed = true;
+};
+
+/** A single MOUSE memory/compute tile. */
+class Tile
+{
+  public:
+    /**
+     * @param rows Number of word lines (default 1024).
+     * @param cols Number of bit-line pairs (default 1024).
+     */
+    explicit Tile(unsigned rows = 1024, unsigned cols = 1024);
+
+    unsigned numRows() const { return rows_; }
+    unsigned numCols() const { return cols_; }
+
+    Bit bit(RowAddr row, ColAddr col) const;
+    void setBit(RowAddr row, ColAddr col, Bit value);
+
+    /**
+     * Execute one gate in every active column.
+     *
+     * @param lib Solved gate library (device physics + voltages).
+     * @param g Gate type; must be feasible in @p lib.
+     * @param in_rows Input row addresses (first numInputs used);
+     *        all inputs must share a parity opposite to @p out_row.
+     * @param out_row Output row address.
+     * @param active Columns to operate in.
+     * @param cycle_fraction How much of the instruction cycle elapsed
+     *        before an interrupt; 1.0 means uninterrupted.  The
+     *        current pulse occupies the first pulseTime/cycleTime of
+     *        the cycle.
+     */
+    GateExecResult executeGate(const GateLibrary &lib, GateType g,
+                               const std::array<RowAddr, 3> &in_rows,
+                               RowAddr out_row, const ColumnSet &active,
+                               double cycle_fraction = 1.0);
+
+    /**
+     * Preset (write) @p value into @p row at every active column.
+     * Interruption semantics mirror executeGate: a write pulse that
+     * does not complete leaves the previous contents.
+     *
+     * @return Device energy consumed.
+     */
+    Joules presetRow(const GateLibrary &lib, RowAddr row, Bit value,
+                     const ColumnSet &active,
+                     double cycle_fraction = 1.0);
+
+    /** Read a full row into @p out (all columns). */
+    Joules readRow(const GateLibrary &lib, RowAddr row,
+                   std::vector<Bit> &out) const;
+
+    /**
+     * Write a full row from @p data (all columns).  A write that is
+     * interrupted mid-pulse leaves the row unchanged; as the paper
+     * notes, repeating a write is simply writing the value twice.
+     */
+    Joules writeRow(const GateLibrary &lib, RowAddr row,
+                    const std::vector<Bit> &data,
+                    double cycle_fraction = 1.0);
+
+    /** Snapshot all bits (row-major) for equality checks in tests. */
+    std::vector<Bit> snapshot() const;
+
+  private:
+    std::size_t
+    index(RowAddr row, ColAddr col) const
+    {
+        return static_cast<std::size_t>(row) * cols_ + col;
+    }
+
+    unsigned rows_;
+    unsigned cols_;
+    /** Bit-packed MTJ states, row-major. */
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_ARCH_TILE_HH

@@ -1,0 +1,74 @@
+#include "sonic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+SonicBenchmark
+sonicMnist()
+{
+    // Table IV, SONIC rows: 2.74 s, 27,000 uJ, 99 % accuracy.
+    return SonicBenchmark{"SONIC MNIST", 2.74, 27000e-6, 99.0};
+}
+
+SonicBenchmark
+sonicHar()
+{
+    return SonicBenchmark{"SONIC HAR", 1.10, 12500e-6, 88.0};
+}
+
+RunStats
+SonicModel::runContinuous() const
+{
+    RunStats stats;
+    stats.activeTime = bench_.continuousLatency;
+    stats.computeEnergy = bench_.continuousEnergy;
+    return stats;
+}
+
+RunStats
+SonicModel::runHarvested(Watts source_power) const
+{
+    mouse_assert(source_power > 0.0, "non-positive power");
+    RunStats stats;
+
+    const Watts p_active = activePower();
+    if (source_power >= p_active) {
+        // The harvester sustains the MCU: no outages.
+        return runContinuous();
+    }
+
+    // Bursts: each burst spends one buffer charge of energy; the
+    // loop-continuation mechanism redoes a slice of progress after
+    // every outage, inflating total work.
+    const double bursts =
+        bench_.continuousEnergy / bufferEnergy_;
+    const double overhead_factor = 1.0 + progressOverhead_;
+    const Joules total_energy =
+        bench_.continuousEnergy * overhead_factor;
+    const Seconds active_time =
+        bench_.continuousLatency * overhead_factor;
+
+    // Off-time: everything beyond what the source delivers during
+    // active time must be gathered while off.
+    const Joules harvested_while_active =
+        source_power * active_time;
+    const Seconds charge_time =
+        total_energy > harvested_while_active
+            ? (total_energy - harvested_while_active) / source_power
+            : 0.0;
+
+    stats.activeTime = active_time;
+    stats.chargingTime = charge_time;
+    stats.computeEnergy = bench_.continuousEnergy;
+    stats.deadEnergy =
+        bench_.continuousEnergy * progressOverhead_;
+    stats.deadTime = bench_.continuousLatency * progressOverhead_;
+    stats.outages = static_cast<std::uint64_t>(std::ceil(bursts));
+    return stats;
+}
+
+} // namespace mouse

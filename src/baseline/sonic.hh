@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SONIC baseline model (Gobieski et al., ASPLOS'19), the
+ * state-of-the-art intermittent-inference system the paper compares
+ * against (Table IV, Figure 9).
+ *
+ * SONIC runs DNN inference on a TI MSP430FR5994 microcontroller with
+ * FRAM, using loop-continuation for intermittent safety, powered by
+ * a Powercast P2210B harvester (~5 mW).  We model it analytically
+ * from the two measured scalars the paper reports per benchmark
+ * (continuous-power latency and energy), which determine its active
+ * power draw; under weaker sources the latency is dominated by
+ * charging time, exactly as for MOUSE, plus a loop-continuation
+ * progress overhead per power cycle.
+ */
+
+#ifndef MOUSE_BASELINE_SONIC_HH
+#define MOUSE_BASELINE_SONIC_HH
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace mouse
+{
+
+/** One SONIC benchmark characterization (from the paper's Table IV). */
+struct SonicBenchmark
+{
+    std::string name;
+    /** Continuous-power inference latency. */
+    Seconds continuousLatency = 0.0;
+    /** Continuous-power inference energy. */
+    Joules continuousEnergy = 0.0;
+    /** Reported accuracy (percent). */
+    double accuracyPercent = 0.0;
+};
+
+/** Paper-reported SONIC rows. */
+SonicBenchmark sonicMnist();
+SonicBenchmark sonicHar();
+
+/** Analytic SONIC execution model. */
+class SonicModel
+{
+  public:
+    /**
+     * @param bench Benchmark characterization.
+     * @param progress_overhead Fraction of work re-executed per
+     *        power cycle (loop continuation redo cost).
+     * @param buffer_energy Usable capacitor energy per burst; SONIC
+     *        uses board-level capacitors holding far more energy
+     *        than MOUSE's on-chip buffer.
+     */
+    explicit SonicModel(const SonicBenchmark &bench,
+                        double progress_overhead = 0.05,
+                        Joules buffer_energy = 100e-6)
+        : bench_(bench), progressOverhead_(progress_overhead),
+          bufferEnergy_(buffer_energy)
+    {
+    }
+
+    const SonicBenchmark &benchmark() const { return bench_; }
+
+    /** Average power while actively computing. */
+    Watts
+    activePower() const
+    {
+        return bench_.continuousEnergy / bench_.continuousLatency;
+    }
+
+    /** Continuous-power run (the Table IV row). */
+    RunStats runContinuous() const;
+
+    /**
+     * Energy-harvesting run at @p source_power: the device computes
+     * in bursts, re-executing a loop-continuation overhead slice
+     * after each outage.
+     */
+    RunStats runHarvested(Watts source_power) const;
+
+  private:
+    SonicBenchmark bench_;
+    double progressOverhead_;
+    Joules bufferEnergy_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_BASELINE_SONIC_HH

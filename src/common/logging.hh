@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user/configuration errors and exits cleanly;
+ * warn()/inform() print status without stopping the run.
+ */
+
+#ifndef MOUSE_COMMON_LOGGING_HH
+#define MOUSE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mouse
+{
+
+/**
+ * Print a formatted message with a severity prefix to stderr.
+ *
+ * @param prefix Severity tag, e.g. "panic".
+ * @param fmt printf-style format string.
+ */
+void logMessage(const char *prefix, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Abort the process after reporting an internal simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Exit the process after reporting an unrecoverable user error. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+#define mouse_panic(...) \
+    ::mouse::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define mouse_fatal(...) \
+    ::mouse::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define mouse_warn(...) ::mouse::logMessage("warn", __VA_ARGS__)
+
+#define mouse_inform(...) ::mouse::logMessage("info", __VA_ARGS__)
+
+/**
+ * Internal assertion that survives NDEBUG builds.  Use for simulator
+ * invariants that are cheap relative to the surrounding work.
+ */
+#define mouse_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::mouse::logMessage("assert", __VA_ARGS__);                  \
+            ::mouse::panicImpl(__FILE__, __LINE__,                       \
+                               "assertion failed: %s", #cond);           \
+        }                                                                \
+    } while (0)
+
+} // namespace mouse
+
+#endif // MOUSE_COMMON_LOGGING_HH

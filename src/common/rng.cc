@@ -1,0 +1,14 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace mouse
+{
+
+double
+Rng::sqrtLog(double s)
+{
+    return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+} // namespace mouse

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used across the
+ * simulator (fault injection, synthetic datasets, property tests).
+ *
+ * A simulator must be reproducible: the same seed always yields the
+ * same outage schedule, the same synthetic dataset, and therefore the
+ * same reported numbers.  We use xoshiro256** which is small, fast,
+ * and has no global state.
+ */
+
+#ifndef MOUSE_COMMON_RNG_HH
+#define MOUSE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mouse
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds diverge immediately. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free Lemire reduction; bias is negligible for the
+        // bounds used in this simulator (<< 2^64).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Standard normal via Marsaglia polar method (no cached spare to
+     * keep the generator stateless between calls beyond the stream).
+     */
+    double
+    normal()
+    {
+        while (true) {
+            double u = uniform(-1.0, 1.0);
+            double v = uniform(-1.0, 1.0);
+            double s = u * u + v * v;
+            if (s > 0.0 && s < 1.0) {
+                return u * sqrtLog(s);
+            }
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double sqrtLog(double s);
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mouse
+
+#endif // MOUSE_COMMON_RNG_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fixed-point FFT on MOUSE — the paper's related-work comparison
+ * made concrete (Section X).
+ *
+ * The paper contrasts a non-volatile processor completing MiBench
+ * FFT in 4.2 ms with CRAFFT's 1.63 ms on the same CRAM substrate
+ * MOUSE uses, noting that making the FFT intermittent-safe "in the
+ * same manner [as] MOUSE would introduce a latency penalty".  This
+ * module maps an iterative radix-2 decimation-in-time FFT onto the
+ * MOUSE array so that penalty can actually be measured:
+ *
+ *  - one butterfly per column (real/imag operands, twiddle factors
+ *    pre-placed per column like SVM support vectors);
+ *  - per stage: a column-parallel butterfly kernel (four fixed-point
+ *    multiplies + six adds/subs), then buffer row moves for the
+ *    inter-stage data shuffle;
+ *  - log2(N) sequential stages.
+ *
+ * A software fixed-point reference (identical arithmetic) validates
+ * the compiled butterfly bit-for-bit on the functional simulator.
+ */
+
+#ifndef MOUSE_COMPILE_FFT_HH
+#define MOUSE_COMPILE_FFT_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "compile/builder.hh"
+#include "compile/program.hh"
+
+namespace mouse
+{
+
+/** Fixed-point complex sample (Q(bits-1) twiddles). */
+struct FixedComplex
+{
+    std::int64_t re = 0;
+    std::int64_t im = 0;
+
+    bool operator==(const FixedComplex &) const = default;
+};
+
+/**
+ * Software butterfly with the exact arithmetic the array kernel
+ * implements: products keep 2*bits, then are truncated back to
+ * @p bits by an arithmetic right shift of (bits - 1) — the Q-format
+ * renormalization.
+ */
+void fixedButterfly(FixedComplex a, FixedComplex b, FixedComplex w,
+                    unsigned bits, FixedComplex &out_top,
+                    FixedComplex &out_bottom);
+
+/** Software fixed-point radix-2 DIT FFT (reference model). */
+std::vector<FixedComplex> fixedFft(std::vector<FixedComplex> input,
+                                   unsigned bits);
+
+/** Rows used by one compiled butterfly (for layout planning). */
+struct ButterflyLayout
+{
+    /** Even base rows of the six operands (each @p bits wide,
+     *  stride 2): a.re, a.im, b.re, b.im, w.re, w.im. */
+    RowAddr aRe = 0;
+    RowAddr aIm = 0;
+    RowAddr bRe = 0;
+    RowAddr bIm = 0;
+    RowAddr wRe = 0;
+    RowAddr wIm = 0;
+};
+
+/** Result rows of a compiled butterfly. */
+struct ButterflyResult
+{
+    Word topRe;
+    Word topIm;
+    Word botRe;
+    Word botIm;
+};
+
+/**
+ * Compile one radix-2 butterfly:
+ *   top = a + w*b,  bottom = a - w*b
+ * in Q(bits-1) fixed point, executed in every active column.
+ */
+ButterflyResult buildButterflyKernel(KernelBuilder &kb,
+                                     const ButterflyLayout &layout,
+                                     unsigned bits);
+
+/** FFT workload shape. */
+struct FftWorkload
+{
+    unsigned points = 1024;
+    unsigned bits = 16;
+};
+
+/** Layout facts of an FFT mapping. */
+struct FftMappingInfo
+{
+    unsigned stages = 0;
+    std::uint64_t butterfliesPerStage = 0;
+    std::uint64_t peakActiveColumns = 0;
+    /** Instructions of the complete transform. */
+    std::uint64_t totalInstructions = 0;
+};
+
+/**
+ * Compressed execution trace of one N-point FFT (one butterfly per
+ * column, log2(N) stages with inter-stage shuffles).
+ *
+ * @param lib Target gate library.
+ * @param work FFT shape.
+ * @param total_columns Columns available (tile x column product,
+ *        possibly capped for a power budget).
+ * @param tile_cols Columns per tile (row-move granularity).
+ */
+Trace buildFftTrace(const GateLibrary &lib, const FftWorkload &work,
+                    std::uint64_t total_columns, unsigned tile_cols,
+                    FftMappingInfo *info = nullptr);
+
+} // namespace mouse
+
+#endif // MOUSE_COMPILE_FFT_HH

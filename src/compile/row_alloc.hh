@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parity-aware row allocator for gate-level compilation.
+ *
+ * CRAM logic constrains every gate's inputs to rows of one parity
+ * and its output to the other (Section II-C), so scratch allocation
+ * is two free lists, one per parity.  Rows are a scarce resource
+ * (1024 per tile shared between operands, accumulators and scratch);
+ * the builder frees temporaries aggressively and the allocator
+ * reports the high-water mark so layout models can derive how many
+ * values fit in one column.
+ */
+
+#ifndef MOUSE_COMPILE_ROW_ALLOC_HH
+#define MOUSE_COMPILE_ROW_ALLOC_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mouse
+{
+
+/** Two-parity row free-list allocator. */
+class RowAllocator
+{
+  public:
+    /**
+     * @param num_rows Rows in the tile.
+     * @param first_free First row available for allocation (rows
+     *        below it are reserved for program inputs/outputs).
+     */
+    explicit RowAllocator(unsigned num_rows, unsigned first_free = 0)
+        : numRows_(num_rows)
+    {
+        for (unsigned r = num_rows; r-- > first_free;) {
+            freeOf(r & 1).push_back(static_cast<RowAddr>(r));
+        }
+    }
+
+    /** Allocate a row with the given parity (0 even, 1 odd). */
+    RowAddr
+    alloc(unsigned parity)
+    {
+        auto &list = freeOf(parity);
+        if (list.empty()) {
+            mouse_fatal("out of %s scratch rows (tile has %u rows)",
+                        parity ? "odd" : "even", numRows_);
+        }
+        const RowAddr r = list.back();
+        list.pop_back();
+        ++inUse_;
+        highWater_ = std::max(highWater_, inUse_);
+        return r;
+    }
+
+    /**
+     * Allocate the free row of the given parity closest to
+     * @p anchor.  Placement-aware compilation uses this to keep
+     * gate operand spans short when logic-line parasitics are
+     * enabled (see the [95] ablation); with ideal wires it is
+     * merely harmless.
+     */
+    RowAddr
+    allocNear(unsigned parity, RowAddr anchor)
+    {
+        auto &list = freeOf(parity);
+        if (list.empty()) {
+            mouse_fatal("out of %s scratch rows (tile has %u rows)",
+                        parity ? "odd" : "even", numRows_);
+        }
+        std::size_t best = 0;
+        unsigned best_dist = ~0u;
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            const unsigned dist =
+                list[i] > anchor
+                    ? static_cast<unsigned>(list[i] - anchor)
+                    : static_cast<unsigned>(anchor - list[i]);
+            if (dist < best_dist) {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        const RowAddr r = list[best];
+        list[best] = list.back();
+        list.pop_back();
+        ++inUse_;
+        highWater_ = std::max(highWater_, inUse_);
+        return r;
+    }
+
+    /** Return a row to its parity free list. */
+    void
+    release(RowAddr row)
+    {
+        mouse_assert(row < numRows_, "releasing OOB row");
+        freeOf(row & 1).push_back(row);
+        mouse_assert(inUse_ > 0, "release without alloc");
+        --inUse_;
+    }
+
+    unsigned available(unsigned parity) const
+    {
+        return static_cast<unsigned>(
+            (parity & 1) ? freeOdd_.size() : freeEven_.size());
+    }
+
+    /** Peak simultaneous allocation count. */
+    unsigned highWater() const { return highWater_; }
+
+  private:
+    std::vector<RowAddr> &
+    freeOf(unsigned parity)
+    {
+        return (parity & 1) ? freeOdd_ : freeEven_;
+    }
+
+    unsigned numRows_;
+    std::vector<RowAddr> freeEven_;
+    std::vector<RowAddr> freeOdd_;
+    unsigned inUse_ = 0;
+    unsigned highWater_ = 0;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_COMPILE_ROW_ALLOC_HH

@@ -1,0 +1,193 @@
+#include "controller.hh"
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+Controller::Controller(TileGrid &grid, InstructionMemory &imem,
+                       const EnergyModel &energy)
+    : grid_(grid), imem_(imem), energy_(energy)
+{
+}
+
+void
+Controller::reset()
+{
+    pcReg_ = DuplexNvRegister<std::uint32_t>(0);
+    actReg_ = DuplexNvRegister<ActJournal>(ActJournal{});
+    halted_ = false;
+}
+
+Instruction
+Controller::fetchDecode(Joules &energy) const
+{
+    energy += energy_.fetchEnergy();
+    return Instruction::decode(imem_.fetch(pcReg_.read()));
+}
+
+unsigned
+Controller::touchedColumns(const Instruction &inst) const
+{
+    switch (inst.op) {
+      case Opcode::kHalt:
+        return 0;
+      case Opcode::kActivateList:
+        return inst.numCols;
+      case Opcode::kActivateRange:
+        return static_cast<unsigned>(inst.colHi - inst.colLo + 1);
+      case Opcode::kReadRow:
+      case Opcode::kWriteRow:
+      case Opcode::kWriteRowShifted:
+        return grid_.config().tileCols;
+      default: {
+        const unsigned tiles = inst.tile == kBroadcastTile
+                                   ? grid_.config().numDataTiles
+                                   : 1;
+        return grid_.activeColumns().count() * tiles;
+      }
+    }
+}
+
+ExecOutcome
+Controller::executePhase(const Instruction &inst, double fraction)
+{
+    return grid_.execute(inst, fraction);
+}
+
+ActJournal
+Controller::journalAfter(const Instruction &inst) const
+{
+    ActJournal j = inst.clearActivation ? ActJournal{} : actReg_.read();
+    if (j.count >= ActJournal::kDepth) {
+        mouse_fatal("more than %zu consecutive additive Activate "
+                    "Columns instructions; the NV journal register "
+                    "cannot checkpoint them",
+                    ActJournal::kDepth);
+    }
+    j.entries[j.count] = inst;
+    ++j.count;
+    return j;
+}
+
+void
+Controller::commitPhase(const Instruction &inst, StepResult &result)
+{
+    const bool is_act = inst.op == Opcode::kActivateList ||
+                        inst.op == Opcode::kActivateRange;
+    if (is_act) {
+        // Stage + commit the ACT shadow register *before* the PC
+        // parity flip: if power dies between the two commits, the PC
+        // still points at the ACT instruction, whose re-execution is
+        // idempotent.  The reverse order could advance the PC past an
+        // activation that was never checkpointed.
+        actReg_.writeInvalid(journalAfter(inst));
+        actReg_.commit();
+        result.backupEnergy += energy_.actRegisterBackupEnergy();
+    }
+    pcReg_.writeInvalid(pcReg_.read() + 1);
+    pcReg_.commit();
+    result.backupEnergy += energy_.backupEnergyPerCycle();
+    result.energy += result.backupEnergy;
+}
+
+StepResult
+Controller::step()
+{
+    mouse_assert(!halted_, "stepping a halted controller");
+    StepResult result;
+    result.inst = fetchDecode(result.energy);
+    if (result.inst.op == Opcode::kHalt) {
+        // HALT does not advance the PC: a restart lands back on the
+        // HALT, so a completed program stays completed.
+        halted_ = true;
+        result.halted = true;
+        return result;
+    }
+    const ExecOutcome out = executePhase(result.inst, 1.0);
+    result.energy += energy_.instructionEnergy(
+        result.inst, out.deviceEnergy, touchedColumns(result.inst));
+    commitPhase(result.inst, result);
+    return result;
+}
+
+Joules
+Controller::stepInterrupted(MicroStep at, double fraction)
+{
+    mouse_assert(!halted_, "stepping a halted controller");
+    mouse_assert(fraction >= 0.0 && fraction <= 1.0, "bad fraction");
+
+    Joules energy = 0.0;
+    if (at == MicroStep::kFetch) {
+        // Partway through the fetch; nothing persistent was touched.
+        return energy_.fetchEnergy() * fraction;
+    }
+
+    Instruction inst = fetchDecode(energy);
+    if (inst.op == Opcode::kHalt) {
+        return energy;
+    }
+
+    if (at == MicroStep::kExecute) {
+        const ExecOutcome out = executePhase(inst, fraction);
+        // Peripheral drivers were energized for the elapsed part of
+        // the cycle.
+        energy += out.deviceEnergy +
+                  energy_.peripheralEnergy(touchedColumns(inst)) *
+                      fraction;
+        return energy;
+    }
+
+    // Execution completed; the cut lands in the commit machinery.
+    const ExecOutcome out = executePhase(inst, 1.0);
+    energy += energy_.instructionEnergy(inst, out.deviceEnergy,
+                                        touchedColumns(inst));
+
+    if (at == MicroStep::kWritePc) {
+        // The invalid PC register is mid-write: model indeterminate
+        // contents.  The parity bit still selects the old copy.
+        pcReg_.corruptInvalid(0xDEADBEEFu);
+        energy += energy_.backupEnergyPerCycle() * fraction;
+        return energy;
+    }
+
+    mouse_assert(at == MicroStep::kCommit, "unhandled micro-step");
+    // Worst case of Table I / Figure 7: everything done, the invalid
+    // register holds the next PC, but the parity bit never flips.
+    const bool is_act = inst.op == Opcode::kActivateList ||
+                        inst.op == Opcode::kActivateRange;
+    if (is_act) {
+        actReg_.writeInvalid(journalAfter(inst));
+        actReg_.commit();
+        energy += energy_.actRegisterBackupEnergy();
+    }
+    pcReg_.writeInvalid(pcReg_.read() + 1);
+    energy += energy_.backupEnergyPerCycle();
+    return energy;
+}
+
+void
+Controller::powerLoss()
+{
+    grid_.powerLoss();
+    // The halted flag is controller-internal volatile state; after a
+    // restart the controller re-fetches the instruction at the valid
+    // PC and re-discovers the HALT if the program had finished.
+    halted_ = false;
+}
+
+RestartResult
+Controller::restart()
+{
+    RestartResult result;
+    const ActJournal journal = actReg_.read();
+    for (std::uint8_t i = 0; i < journal.count; ++i) {
+        grid_.execute(journal.entries[i], 1.0);
+    }
+    result.restoreCycles = energy_.restoreCycles(journal.count);
+    result.restoreEnergy = energy_.restoreEnergy(
+        journal.count, grid_.activeColumns().count());
+    return result;
+}
+
+} // namespace mouse

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Duplicated non-volatile register with a parity-selected valid copy
+ * (paper Section V-B1).
+ *
+ * A write is two separately interruptible micro-steps:
+ *   1. writeInvalid(v) — the new value lands in the currently
+ *      *invalid* copy; interrupting this leaves at worst garbage in
+ *      a copy nobody trusts;
+ *   2. commit() — the parity bit flips, atomically redefining which
+ *      copy is valid.
+ *
+ * A power cut between the steps makes the controller re-perform the
+ * previous instruction, which is safe because instructions are
+ * idempotent.  The template is shared by the PC and the Activate
+ * Columns shadow registers.
+ */
+
+#ifndef MOUSE_CONTROLLER_NV_REGISTER_HH
+#define MOUSE_CONTROLLER_NV_REGISTER_HH
+
+#include <cstdint>
+
+namespace mouse
+{
+
+/** Duplicated NV register; T must be trivially copyable. */
+template <typename T>
+class DuplexNvRegister
+{
+  public:
+    explicit DuplexNvRegister(T initial = T{})
+        : regA_(initial), regB_(initial)
+    {}
+
+    /** Value of the currently valid copy. */
+    T
+    read() const
+    {
+        return parity_ ? regB_ : regA_;
+    }
+
+    /** Micro-step 1: stage @p value in the invalid copy. */
+    void
+    writeInvalid(T value)
+    {
+        if (parity_) {
+            regA_ = value;
+        } else {
+            regB_ = value;
+        }
+    }
+
+    /**
+     * Model an interrupted micro-step 1: the invalid copy is left
+     * with indeterminate contents.  Correctness must not depend on
+     * it; tests corrupt it deliberately.
+     */
+    void
+    corruptInvalid(T garbage)
+    {
+        writeInvalid(garbage);
+    }
+
+    /** Micro-step 2: flip the parity bit, committing the write. */
+    void
+    commit()
+    {
+        parity_ = !parity_;
+    }
+
+    bool parity() const { return parity_; }
+
+  private:
+    T regA_;
+    T regB_;
+    /** false: A valid; true: B valid.  The parity bit itself is a
+     *  single NV bit whose write is atomic (one MTJ). */
+    bool parity_ = false;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_CONTROLLER_NV_REGISTER_HH

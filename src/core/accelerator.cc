@@ -1,0 +1,49 @@
+#include "accelerator.hh"
+
+namespace mouse
+{
+
+Accelerator::Accelerator(const MouseConfig &cfg) : cfg_(cfg)
+{
+    lib_ = std::make_unique<GateLibrary>(makeDeviceConfig(cfg.tech),
+                                         cfg.gateMargin);
+    energy_ = std::make_unique<EnergyModel>(*lib_, cfg.peripheral);
+    grid_ = std::make_unique<TileGrid>(cfg.array, *lib_);
+    imem_ = std::make_unique<InstructionMemory>(cfg.array);
+    controller_ =
+        std::make_unique<Controller>(*grid_, *imem_, *energy_);
+}
+
+void
+Accelerator::loadProgram(const Program &prog)
+{
+    imem_->load(prog.encode());
+    controller_->reset();
+}
+
+RunStats
+Accelerator::runContinuous()
+{
+    return runContinuousFunctional(*controller_);
+}
+
+RunStats
+Accelerator::runHarvested(const HarvestConfig &harvest)
+{
+    return runHarvestedFunctional(*controller_, harvest);
+}
+
+RunStats
+Accelerator::simulateContinuous(const Trace &trace) const
+{
+    return runContinuousTrace(trace, *energy_);
+}
+
+RunStats
+Accelerator::simulateHarvested(const Trace &trace,
+                               const HarvestConfig &harvest) const
+{
+    return runHarvestedTrace(trace, *energy_, harvest);
+}
+
+} // namespace mouse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Public facade of the MOUSE library.
+ *
+ * An Accelerator bundles one device configuration (Modern STT /
+ * Projected STT / Projected SHE) with a tile grid, instruction
+ * memory, controller, and energy model, exposing the four execution
+ * modes the paper evaluates:
+ *
+ *   - loadProgram() + runContinuous()          functional, wall power
+ *   - loadProgram() + runHarvested()           functional, harvesting
+ *   - simulateContinuous(trace)                performance model
+ *   - simulateHarvested(trace, harvest)        performance model
+ *
+ * A typical downstream user writes a kernel with KernelBuilder (or
+ * maps an SVM/BNN with ml/mapping.hh), loads it, and reads stats and
+ * tile contents back.  See examples/quickstart.cpp.
+ */
+
+#ifndef MOUSE_CORE_ACCELERATOR_HH
+#define MOUSE_CORE_ACCELERATOR_HH
+
+#include <memory>
+
+#include "compile/builder.hh"
+#include "controller/controller.hh"
+#include "sim/simulator.hh"
+
+namespace mouse
+{
+
+/** Top-level configuration of a MOUSE accelerator instance. */
+struct MouseConfig
+{
+    TechConfig tech = TechConfig::ModernStt;
+    ArrayConfig array{};
+    PeripheralParams peripheral{};
+    /** Gate noise margin (Section V robustness knob). */
+    double gateMargin = kDefaultGateMargin;
+};
+
+/** One configured MOUSE accelerator. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const MouseConfig &cfg);
+
+    const MouseConfig &config() const { return cfg_; }
+    const DeviceConfig &device() const { return lib_->config(); }
+    const GateLibrary &gateLibrary() const { return *lib_; }
+    const EnergyModel &energyModel() const { return *energy_; }
+
+    TileGrid &grid() { return *grid_; }
+    const TileGrid &grid() const { return *grid_; }
+    Controller &controller() { return *controller_; }
+
+    /** Write a program into the instruction tiles and reset the PC
+     *  (the pre-deployment step of Section IV-B). */
+    void loadProgram(const Program &prog);
+
+    /** Functional run to HALT under continuous power. */
+    RunStats runContinuous();
+
+    /** Functional run to HALT under the harvesting environment. */
+    RunStats runHarvested(const HarvestConfig &harvest);
+
+    /** Performance-model run of a compressed trace. */
+    RunStats simulateContinuous(const Trace &trace) const;
+
+    /** Performance-model run under harvesting. */
+    RunStats simulateHarvested(const Trace &trace,
+                               const HarvestConfig &harvest) const;
+
+  private:
+    MouseConfig cfg_;
+    std::unique_ptr<GateLibrary> lib_;
+    std::unique_ptr<EnergyModel> energy_;
+    std::unique_ptr<TileGrid> grid_;
+    std::unique_ptr<InstructionMemory> imem_;
+    std::unique_ptr<Controller> controller_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_CORE_ACCELERATOR_HH

@@ -1,0 +1,193 @@
+#include "pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+void
+SensorBuffer::beginStage()
+{
+    valid_ = false;
+    staging_ = true;
+    rows_.clear();
+}
+
+void
+SensorBuffer::stageRow(const std::vector<Bit> &row)
+{
+    mouse_assert(staging_, "stageRow outside a staging window");
+    mouse_assert(row.size() == rowBits_, "sensor row width mismatch");
+    rows_.push_back(row);
+}
+
+void
+SensorBuffer::commitStage()
+{
+    mouse_assert(staging_, "commit without staging");
+    staging_ = false;
+    // The valid bit is the last write, so a cut anywhere before this
+    // line leaves the sample invisible.
+    valid_ = true;
+}
+
+void
+SensorBuffer::consume()
+{
+    valid_ = false;
+}
+
+const std::vector<Bit> &
+SensorBuffer::row(std::size_t i) const
+{
+    mouse_assert(i < rows_.size(), "sensor row OOB");
+    return rows_[i];
+}
+
+void
+SensorBuffer::powerLoss()
+{
+    if (staging_) {
+        // The sample was mid-write: its rows are garbage and the
+        // valid bit was never raised.
+        staging_ = false;
+        rows_.clear();
+        valid_ = false;
+    }
+}
+
+void
+Transmitter::send(std::size_t index, const std::vector<Bit> &row)
+{
+    if (index >= received_.size()) {
+        received_.resize(index + 1);
+    }
+    received_[index] = row;
+}
+
+const std::vector<Bit> &
+Transmitter::row(std::size_t i) const
+{
+    mouse_assert(i < received_.size(), "transmitter row OOB");
+    return received_[i];
+}
+
+InferencePipeline::InferencePipeline(Accelerator &acc,
+                                     SensorBuffer &sensor,
+                                     Transmitter &tx,
+                                     const PipelineLayout &layout)
+    : acc_(acc), sensor_(sensor), tx_(tx), layout_(layout)
+{
+}
+
+void
+InferencePipeline::commitState(State next)
+{
+    state_.writeInvalid(next);
+    state_.commit();
+}
+
+Joules
+InferencePipeline::tick()
+{
+    const EnergyModel &energy = acc_.energyModel();
+    const State s = state_.read();
+    switch (s.phase) {
+      case PipelinePhase::kWaitInput: {
+        // Polling the NV valid bit costs one register-bit sense.
+        const Joules e = energy.library().readOp().energy;
+        if (sensor_.valid()) {
+            commitState(State{PipelinePhase::kTransferIn, 0});
+        }
+        return e;
+      }
+      case PipelinePhase::kTransferIn: {
+        // Copy sensor row `step` into the data tile.  The copy is
+        // idempotent: re-running it after an outage rewrites the
+        // same values.
+        const Joules e =
+            acc_.gateLibrary().writeOp().energy *
+                acc_.config().array.tileCols +
+            energy.peripheralEnergy(acc_.config().array.tileCols);
+        Tile &tile = acc_.grid().tile(layout_.dataTile);
+        const std::vector<Bit> &row = sensor_.row(s.step);
+        const unsigned cols = std::min<std::size_t>(
+            acc_.config().array.tileCols, row.size());
+        for (unsigned c = 0; c < cols; ++c) {
+            tile.setBit(
+                static_cast<RowAddr>(layout_.inputBaseRow + s.step),
+                static_cast<ColAddr>(c), row[c]);
+        }
+        State next = s;
+        ++next.step;
+        if (next.step >= sensor_.numRows()) {
+            // Consuming the valid bit strictly after the last row
+            // copy: a cut in between re-copies the last row, which
+            // is harmless.  The controller PC is rewound *before*
+            // the phase commit so a cut between the two re-runs
+            // this (idempotent) tick.
+            sensor_.consume();
+            acc_.controller().reset();
+            next = State{PipelinePhase::kCompute, 0};
+        }
+        commitState(next);
+        return e;
+      }
+      case PipelinePhase::kCompute: {
+        if (acc_.controller().halted()) {
+            commitState(State{PipelinePhase::kTransferOut, 0});
+            return 0.0;
+        }
+        const StepResult r = acc_.controller().step();
+        return r.energy;
+      }
+      case PipelinePhase::kTransferOut: {
+        const Joules e =
+            acc_.gateLibrary().readOp().energy *
+                acc_.config().array.tileCols +
+            energy.peripheralEnergy(acc_.config().array.tileCols);
+        Tile &tile = acc_.grid().tile(layout_.dataTile);
+        std::vector<Bit> row(acc_.config().array.tileCols);
+        for (unsigned c = 0; c < row.size(); ++c) {
+            row[c] = tile.bit(
+                static_cast<RowAddr>(layout_.outputBaseRow + s.step),
+                static_cast<ColAddr>(c));
+        }
+        tx_.send(s.step, row);
+        State next = s;
+        ++next.step;
+        if (next.step >= layout_.outputRows) {
+            next = State{PipelinePhase::kDone, 0};
+        }
+        commitState(next);
+        return e;
+      }
+      case PipelinePhase::kDone:
+        return 0.0;
+    }
+    mouse_panic("bad pipeline phase");
+}
+
+void
+InferencePipeline::powerLoss()
+{
+    acc_.controller().powerLoss();
+    sensor_.powerLoss();
+}
+
+RestartResult
+InferencePipeline::restart()
+{
+    // The phase register is NV; only the controller's peripheral
+    // state needs rebuilding (and only matters in kCompute).
+    return acc_.controller().restart();
+}
+
+void
+InferencePipeline::rearm()
+{
+    mouse_assert(done(), "rearm before completion");
+    commitState(State{PipelinePhase::kWaitInput, 0});
+}
+
+} // namespace mouse

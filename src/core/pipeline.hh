@@ -1,0 +1,153 @@
+/**
+ * @file
+ * System integration (paper Section IV-E): the sensor -> MOUSE ->
+ * transmitter inference pipeline, intermittent-safe end to end.
+ *
+ * The sensor stages a sample into a non-volatile buffer (assigned a
+ * tile address and treated as a tile) and raises a non-volatile
+ * valid bit.  The memory controller polls the valid bit, transfers
+ * the sample into the data tiles row by row, runs inference, then
+ * streams the result rows to the transmitter and clears the valid
+ * bit so the sensor can stage the next sample.
+ *
+ * Every phase survives power loss:
+ *  - staging interrupted -> valid stays 0, the pipeline keeps
+ *    waiting (the paper's sensor-corruption handling);
+ *  - transfer interrupted -> the dedicated NV register holds the
+ *    phase and row progress; row copies are idempotent;
+ *  - compute interrupted -> the controller's own PC protocol;
+ *  - transmit interrupted -> result rows are indexed, so re-sending
+ *    a row overwrites the same slot.
+ */
+
+#ifndef MOUSE_CORE_PIPELINE_HH
+#define MOUSE_CORE_PIPELINE_HH
+
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace mouse
+{
+
+/** Non-volatile sensor staging buffer with a valid bit. */
+class SensorBuffer
+{
+  public:
+    explicit SensorBuffer(unsigned row_bits) : rowBits_(row_bits) {}
+
+    unsigned rowBits() const { return rowBits_; }
+
+    /** Begin staging a sample (sensor-side).  Clears the valid bit
+     *  first — a power cut mid-staging leaves the buffer invalid. */
+    void beginStage();
+
+    /** Append one staged row. */
+    void stageRow(const std::vector<Bit> &row);
+
+    /** Mark the sample complete (the last sensor-side write). */
+    void commitStage();
+
+    bool valid() const { return valid_; }
+
+    /** MOUSE-side: consume the valid bit after a full transfer. */
+    void consume();
+
+    std::size_t numRows() const { return rows_.size(); }
+    const std::vector<Bit> &row(std::size_t i) const;
+
+    /** Power loss while staging leaves valid = 0; committed samples
+     *  persist (the buffer is NV). */
+    void powerLoss();
+
+  private:
+    unsigned rowBits_;
+    std::vector<std::vector<Bit>> rows_;
+    bool valid_ = false;
+    bool staging_ = false;
+};
+
+/** Mock transmitter: result rows land in indexed slots. */
+class Transmitter
+{
+  public:
+    /** Deliver row @p index (idempotent: re-sends overwrite). */
+    void send(std::size_t index, const std::vector<Bit> &row);
+
+    std::size_t rowsReceived() const { return received_.size(); }
+    const std::vector<Bit> &row(std::size_t i) const;
+
+  private:
+    std::vector<std::vector<Bit>> received_;
+};
+
+/** Pipeline phase, checkpointed in an NV register. */
+enum class PipelinePhase : std::uint8_t
+{
+    kWaitInput = 0,
+    kTransferIn,
+    kCompute,
+    kTransferOut,
+    kDone,
+};
+
+/** Data placement of one inference. */
+struct PipelineLayout
+{
+    TileAddr dataTile = 0;
+    /** First row receiving sensor data (consecutive rows). */
+    RowAddr inputBaseRow = 0;
+    /** First row of the result, and how many rows to transmit. */
+    RowAddr outputBaseRow = 0;
+    unsigned outputRows = 0;
+};
+
+/** Intermittent-safe sensor -> compute -> transmit pipeline. */
+class InferencePipeline
+{
+  public:
+    InferencePipeline(Accelerator &acc, SensorBuffer &sensor,
+                      Transmitter &tx, const PipelineLayout &layout);
+
+    PipelinePhase phase() const { return state_.read().phase; }
+
+    /**
+     * Perform one atomic unit of work: poll the valid bit, copy one
+     * row, execute one instruction, or transmit one row.
+     *
+     * @return Energy consumed by this tick.
+     */
+    Joules tick();
+
+    /** Power outage: volatile state lost; NV state persists. */
+    void powerLoss();
+
+    /** Restart: controller restore + phase register re-read. */
+    RestartResult restart();
+
+    bool done() const { return phase() == PipelinePhase::kDone; }
+
+    /** Rearm for the next sample after kDone. */
+    void rearm();
+
+  private:
+    struct State
+    {
+        PipelinePhase phase = PipelinePhase::kWaitInput;
+        /** Row progress within a transfer phase. */
+        std::uint16_t step = 0;
+    };
+
+    /** Commit a state update through the duplex register. */
+    void commitState(State next);
+
+    Accelerator &acc_;
+    SensorBuffer &sensor_;
+    Transmitter &tx_;
+    PipelineLayout layout_;
+    DuplexNvRegister<State> state_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_CORE_PIPELINE_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Behavioural model of a single magnetic tunnel junction.
+ *
+ * The model captures exactly the physics the paper's correctness
+ * argument rests on (Section II-A, Section V-A):
+ *
+ *  - the MTJ is a two-state resistor: P (logic 0, low R) and
+ *    AP (logic 1, high R);
+ *  - a current of at least the critical switching current, applied
+ *    for at least the switching time, switches the state;
+ *  - the *direction* of the current determines the target state:
+ *    by convention here, positive current (free -> fixed layer)
+ *    drives the device toward AP, negative toward P.  A current can
+ *    therefore never undo a switch it caused — the physical root of
+ *    gate idempotency (Table I of the paper).
+ *
+ * Partial pulses (interrupted by a power outage) are modelled: a
+ * super-critical pulse shorter than the switching time leaves the
+ * state unchanged; the magnetization precession below full reversal
+ * relaxes back, which is the conservative assumption for STT devices
+ * at these pulse widths.
+ */
+
+#ifndef MOUSE_DEVICE_MTJ_HH
+#define MOUSE_DEVICE_MTJ_HH
+
+#include "common/types.hh"
+#include "device/mtj_params.hh"
+
+namespace mouse
+{
+
+/** Magnetization state of an MTJ free layer relative to fixed. */
+enum class MtjState : Bit
+{
+    P = 0,   ///< Parallel: low resistance, logic 0.
+    AP = 1,  ///< Anti-parallel: high resistance, logic 1.
+};
+
+/** Convert a stored logic bit to the corresponding MTJ state. */
+inline MtjState
+stateFromBit(Bit b)
+{
+    return b ? MtjState::AP : MtjState::P;
+}
+
+/** Convert an MTJ state to the logic bit it encodes. */
+inline Bit
+bitFromState(MtjState s)
+{
+    return s == MtjState::AP ? 1 : 0;
+}
+
+/** A single magnetic tunnel junction. */
+class Mtj
+{
+  public:
+    explicit Mtj(MtjState initial = MtjState::P) : state_(initial) {}
+
+    MtjState state() const { return state_; }
+
+    Bit bit() const { return bitFromState(state_); }
+
+    void set(MtjState s) { state_ = s; }
+
+    void setBit(Bit b) { state_ = stateFromBit(b); }
+
+    /** Resistance in the current state for the given device. */
+    Ohms
+    resistance(const MtjParams &params) const
+    {
+        return state_ == MtjState::AP ? params.rAntiParallel
+                                      : params.rParallel;
+    }
+
+    /**
+     * Apply a current pulse.
+     *
+     * @param current Signed current; positive drives toward AP,
+     *                negative toward P.
+     * @param duration Pulse length in seconds.
+     * @param params Device parameters supplying the switching
+     *               threshold and time.
+     * @return true iff the state changed.
+     */
+    bool
+    applyPulse(Amperes current, Seconds duration, const MtjParams &params)
+    {
+        const Amperes magnitude = current < 0 ? -current : current;
+        if (magnitude < params.switchingCurrent) {
+            return false;
+        }
+        if (duration < params.switchingTime) {
+            // Interrupted pulse: magnetization relaxes back.
+            return false;
+        }
+        const MtjState target =
+            current > 0 ? MtjState::AP : MtjState::P;
+        if (target == state_) {
+            // Already in the target state; current direction cannot
+            // revert it (directionality => idempotency).
+            return false;
+        }
+        state_ = target;
+        return true;
+    }
+
+  private:
+    MtjState state_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_DEVICE_MTJ_HH

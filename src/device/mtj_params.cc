@@ -1,0 +1,68 @@
+#include "mtj_params.hh"
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+std::string
+DeviceConfig::name() const
+{
+    switch (tech) {
+      case TechConfig::ModernStt:
+        return "Modern STT";
+      case TechConfig::ProjectedStt:
+        return "Projected STT";
+      case TechConfig::ProjectedShe:
+        return "SHE";
+    }
+    return "unknown";
+}
+
+DeviceConfig
+withParasitics(DeviceConfig cfg, Ohms ohms_per_cell)
+{
+    cfg.wireResistancePerCell = ohms_per_cell;
+    return cfg;
+}
+
+DeviceConfig
+makeDeviceConfig(TechConfig tech)
+{
+    DeviceConfig cfg{};
+    cfg.tech = tech;
+    cfg.accessTransistorR = 1.0e3;
+    cfg.sheChannelR = 1.0e3;
+    cfg.wireResistancePerCell = 0.0;
+    switch (tech) {
+      case TechConfig::ModernStt:
+        cfg.mtj = modernMtj();
+        cfg.cell = CellKind::Stt1T1M;
+        cfg.cycleTime = 33e-9;      // 30.3 MHz
+        cfg.capVoltageLow = 0.320;
+        cfg.capVoltageHigh = 0.340;
+        cfg.bufferCapacitance = 100e-6;
+        break;
+      case TechConfig::ProjectedStt:
+        cfg.mtj = projectedMtj();
+        cfg.cell = CellKind::Stt1T1M;
+        cfg.cycleTime = 11e-9;      // 90.9 MHz
+        cfg.capVoltageLow = 0.100;
+        cfg.capVoltageHigh = 0.120;
+        cfg.bufferCapacitance = 10e-6;
+        break;
+      case TechConfig::ProjectedShe:
+        cfg.mtj = projectedMtj();
+        cfg.cell = CellKind::She2T1M;
+        cfg.cycleTime = 11e-9;      // 90.9 MHz
+        cfg.capVoltageLow = 0.100;
+        cfg.capVoltageHigh = 0.120;
+        cfg.bufferCapacitance = 10e-6;
+        break;
+      default:
+        mouse_panic("unknown TechConfig %d", static_cast<int>(tech));
+    }
+    return cfg;
+}
+
+} // namespace mouse

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MTJ device parameters (paper Table II) and technology presets.
+ *
+ * The paper evaluates three MOUSE configurations:
+ *   - Modern STT:     measured MTJ devices, 1T1M cells, 30.3 MHz
+ *   - Projected STT:  projected MTJ devices, 1T1M cells, 90.9 MHz
+ *   - Projected SHE:  projected MTJs + spin-hall-effect write channel,
+ *                     2T1M cells, 90.9 MHz
+ *
+ * Everything downstream (gate voltages, energies, harvesting
+ * behaviour) is derived from these few scalars, exactly as the
+ * paper's analytical model does.
+ */
+
+#ifndef MOUSE_DEVICE_MTJ_PARAMS_HH
+#define MOUSE_DEVICE_MTJ_PARAMS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace mouse
+{
+
+/** Raw MTJ device parameters, one column of the paper's Table II. */
+struct MtjParams
+{
+    /** Parallel (logic 0) state resistance. */
+    Ohms rParallel;
+    /** Anti-parallel (logic 1) state resistance. */
+    Ohms rAntiParallel;
+    /** Time a super-critical current must be applied to switch. */
+    Seconds switchingTime;
+    /** Critical switching current. */
+    Amperes switchingCurrent;
+
+    /** Tunnel magnetoresistance ratio, (Rap - Rp) / Rp. */
+    double
+    tmr() const
+    {
+        return (rAntiParallel - rParallel) / rParallel;
+    }
+};
+
+/** Table II, "Modern" column: Saida et al. style devices. */
+constexpr MtjParams
+modernMtj()
+{
+    return MtjParams{3.15e3, 7.34e3, 3e-9, 40e-6};
+}
+
+/** Table II, "Projected" column: next-generation devices. */
+constexpr MtjParams
+projectedMtj()
+{
+    return MtjParams{7.34e3, 76.39e3, 1e-9, 3e-6};
+}
+
+/** Cell architecture: 1T1M STT or 2T1M SHE-augmented (Section II-D). */
+enum class CellKind
+{
+    /** One access transistor, read and write both through the MTJ. */
+    Stt1T1M,
+    /** Two access transistors; writes bypass the MTJ via the SHE
+     *  channel, reads pass through channel and MTJ in series. */
+    She2T1M,
+};
+
+/** Named MOUSE configuration evaluated in the paper. */
+enum class TechConfig
+{
+    ModernStt,
+    ProjectedStt,
+    ProjectedShe,
+};
+
+/** Full device-level description of one MOUSE configuration. */
+struct DeviceConfig
+{
+    TechConfig tech;
+    MtjParams mtj;
+    CellKind cell;
+    /** Access transistor on-resistance (paper keeps it < 1 kOhm). */
+    Ohms accessTransistorR;
+    /** SHE channel resistance (Section VIII assumes 1 kOhm). */
+    Ohms sheChannelR;
+    /**
+     * Logic-line interconnect resistance per crossed cell (the
+     * parasitics study of Zabihi et al., JxCDC'20, which the paper
+     * cites as [95]).  The default 0 reproduces the paper's ideal
+     * wires; withParasitics() enables the effect, which penalizes
+     * gates whose operands sit far apart along the logic line.
+     */
+    Ohms wireResistancePerCell;
+    /** Instruction cycle time: 33 ns (30.3 MHz) modern,
+     *  11 ns (90.9 MHz) projected. */
+    Seconds cycleTime;
+    /** Capacitor voltage window for the harvesting model (Sec. IX). */
+    Volts capVoltageLow;
+    Volts capVoltageHigh;
+    /** Energy-buffer capacitor size (100 uF modern, 10 uF projected). */
+    Farads bufferCapacitance;
+
+    /** Short human-readable name, e.g. "Modern STT". */
+    std::string name() const;
+
+    /** Clock frequency implied by the cycle time. */
+    double
+    frequency() const
+    {
+        return 1.0 / cycleTime;
+    }
+};
+
+/** Build the standard configuration for a given technology. */
+DeviceConfig makeDeviceConfig(TechConfig tech);
+
+/** Copy of @p cfg with logic-line parasitics enabled. */
+DeviceConfig withParasitics(DeviceConfig cfg, Ohms ohms_per_cell);
+
+/**
+ * Highest conversion ratio of the paper's switched-capacitor
+ * converter (Section VIII: {0.75, 1, 1.5, 1.75}).  The gate solver
+ * clamps operating voltages to kMaxConverterRatio x capVoltageLow
+ * when the feasible window allows it, so gates stay reachable from
+ * the buffer across the whole voltage window.
+ */
+constexpr double kMaxConverterRatio = 1.75;
+
+} // namespace mouse
+
+#endif // MOUSE_DEVICE_MTJ_PARAMS_HH

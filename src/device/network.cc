@@ -1,0 +1,113 @@
+#include "network.hh"
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+Ohms
+parallelResistance(const std::vector<Ohms> &branches)
+{
+    mouse_assert(!branches.empty(), "no branches");
+    double conductance = 0.0;
+    for (Ohms r : branches) {
+        mouse_assert(r > 0.0, "non-positive branch resistance");
+        conductance += 1.0 / r;
+    }
+    return 1.0 / conductance;
+}
+
+Ohms
+inputBranchResistance(const DeviceConfig &cfg, MtjState input_state)
+{
+    const Ohms r_mtj = input_state == MtjState::AP
+                           ? cfg.mtj.rAntiParallel
+                           : cfg.mtj.rParallel;
+    switch (cfg.cell) {
+      case CellKind::Stt1T1M:
+        return r_mtj + cfg.accessTransistorR;
+      case CellKind::She2T1M:
+        // Read path: through the SHE channel *and* the MTJ stack.
+        return r_mtj + cfg.sheChannelR + cfg.accessTransistorR;
+    }
+    mouse_panic("unknown cell kind");
+}
+
+Ohms
+outputBranchResistance(const DeviceConfig &cfg, MtjState preset_state)
+{
+    switch (cfg.cell) {
+      case CellKind::Stt1T1M: {
+        const Ohms r_mtj = preset_state == MtjState::AP
+                               ? cfg.mtj.rAntiParallel
+                               : cfg.mtj.rParallel;
+        return r_mtj + cfg.accessTransistorR;
+      }
+      case CellKind::She2T1M:
+        // Write path: current flows only through the SHE channel,
+        // independent of the output MTJ state (Section II-D).
+        return cfg.sheChannelR + cfg.accessTransistorR;
+    }
+    mouse_panic("unknown cell kind");
+}
+
+Ohms
+logicLineResistance(const DeviceConfig &cfg, unsigned row_span)
+{
+    return cfg.wireResistancePerCell * row_span;
+}
+
+Ohms
+gateLoopResistance(const DeviceConfig &cfg,
+                   const std::vector<MtjState> &input_states,
+                   MtjState preset_state, unsigned row_span)
+{
+    std::vector<Ohms> branches;
+    branches.reserve(input_states.size());
+    for (MtjState s : input_states) {
+        branches.push_back(inputBranchResistance(cfg, s));
+    }
+    return parallelResistance(branches) +
+           logicLineResistance(cfg, row_span) +
+           outputBranchResistance(cfg, preset_state);
+}
+
+Amperes
+gateOutputCurrent(const DeviceConfig &cfg, Volts voltage,
+                  const std::vector<MtjState> &input_states,
+                  MtjState preset_state, unsigned row_span)
+{
+    return voltage / gateLoopResistance(cfg, input_states,
+                                        preset_state, row_span);
+}
+
+Ohms
+writePathResistance(const DeviceConfig &cfg, MtjState state)
+{
+    switch (cfg.cell) {
+      case CellKind::Stt1T1M: {
+        const Ohms r_mtj = state == MtjState::AP ? cfg.mtj.rAntiParallel
+                                                 : cfg.mtj.rParallel;
+        return r_mtj + cfg.accessTransistorR;
+      }
+      case CellKind::She2T1M:
+        return cfg.sheChannelR + cfg.accessTransistorR;
+    }
+    mouse_panic("unknown cell kind");
+}
+
+Ohms
+readPathResistance(const DeviceConfig &cfg, MtjState state)
+{
+    const Ohms r_mtj = state == MtjState::AP ? cfg.mtj.rAntiParallel
+                                             : cfg.mtj.rParallel;
+    switch (cfg.cell) {
+      case CellKind::Stt1T1M:
+        return r_mtj + cfg.accessTransistorR;
+      case CellKind::She2T1M:
+        return r_mtj + cfg.sheChannelR + cfg.accessTransistorR;
+    }
+    mouse_panic("unknown cell kind");
+}
+
+} // namespace mouse

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Resistive-network solver for CRAM-style in-array logic gates.
+ *
+ * A MOUSE gate (Figure 1 of the paper) is a voltage applied across:
+ *
+ *   bitline -> [input branches in parallel] -> logic line
+ *           -> [output branch] -> other bitline
+ *
+ * Each input branch is the input MTJ resistance plus its series
+ * access path; the output branch depends on the cell architecture:
+ * for STT cells the current flows through the output MTJ itself,
+ * for SHE cells the write current flows through the low-resistance
+ * SHE channel instead (Section II-D).
+ *
+ * The solver answers the only two questions the rest of the system
+ * needs: what current flows through the output device for a given
+ * input state, and therefore (a) does the output switch and (b) how
+ * much energy does the pulse draw.
+ */
+
+#ifndef MOUSE_DEVICE_NETWORK_HH
+#define MOUSE_DEVICE_NETWORK_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "device/mtj.hh"
+#include "device/mtj_params.hh"
+
+namespace mouse
+{
+
+/** Combine branch resistances in parallel. @pre branches non-empty. */
+Ohms parallelResistance(const std::vector<Ohms> &branches);
+
+/**
+ * Series resistance of one *input* branch of a logic gate: the input
+ * MTJ in its given state plus the access path for reads.
+ */
+Ohms inputBranchResistance(const DeviceConfig &cfg, MtjState input_state);
+
+/**
+ * Series resistance of the *output* branch of a logic gate.  For STT
+ * cells this includes the output MTJ (in its preset state); for SHE
+ * cells the write path bypasses the MTJ through the SHE channel.
+ */
+Ohms outputBranchResistance(const DeviceConfig &cfg, MtjState preset_state);
+
+/**
+ * Series resistance of the logic line between the input group and
+ * the output cell: @p row_span crossed cells at the configuration's
+ * per-cell wire resistance (0 with ideal wires).
+ */
+Ohms logicLineResistance(const DeviceConfig &cfg, unsigned row_span);
+
+/**
+ * Total loop resistance of a gate for a specific input combination.
+ *
+ * @param cfg Device configuration.
+ * @param input_states State of each input MTJ.
+ * @param preset_state Preset state of the output MTJ.
+ * @param row_span Cells the logic line crosses between the inputs
+ *        and the output (0 = adjacent / ideal wires).
+ */
+Ohms gateLoopResistance(const DeviceConfig &cfg,
+                        const std::vector<MtjState> &input_states,
+                        MtjState preset_state,
+                        unsigned row_span = 0);
+
+/**
+ * Current through the output device when @p voltage is applied across
+ * the gate loop.
+ */
+Amperes gateOutputCurrent(const DeviceConfig &cfg, Volts voltage,
+                          const std::vector<MtjState> &input_states,
+                          MtjState preset_state,
+                          unsigned row_span = 0);
+
+/** Series resistance of the memory *write* path of a single cell. */
+Ohms writePathResistance(const DeviceConfig &cfg, MtjState state);
+
+/** Series resistance of the memory *read* path of a single cell. */
+Ohms readPathResistance(const DeviceConfig &cfg, MtjState state);
+
+} // namespace mouse
+
+#endif // MOUSE_DEVICE_NETWORK_HH

@@ -1,0 +1,95 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+namespace
+{
+
+/**
+ * NVSim-calibrated density for the Modern STT configuration,
+ * mm^2 per MB, indexed by log2(capacity in MB).  The non-monotone
+ * shape is NVSim's: very small arrays pay peripheral overhead per
+ * bit, mid-size arrays amortize it best, and very large arrays give
+ * back some density to routing.
+ */
+struct DensityPoint
+{
+    double log2Mb;
+    double mm2PerMb;
+};
+
+constexpr DensityPoint kModernSttDensity[] = {
+    {0.0, 0.7100},  // 1 MB  -> 0.71 mm^2
+    {3.0, 0.6788},  // 8 MB  -> 5.43 mm^2
+    {4.0, 0.6788},  // 16 MB -> 10.86 mm^2
+    {6.0, 0.7966},  // 64 MB -> 50.98 mm^2
+};
+
+/** Projected MTJ cells are smaller: Table III column ratio. */
+constexpr double kProjectedSttScale = 38.67 / 50.98;
+/** SHE cells carry a second access transistor: ~2x projected. */
+constexpr double kSheScale = 77.35 / 50.98;
+
+double
+modernDensity(double log2_mb)
+{
+    const auto *pts = kModernSttDensity;
+    constexpr int n = static_cast<int>(std::size(kModernSttDensity));
+    if (log2_mb <= pts[0].log2Mb) {
+        return pts[0].mm2PerMb;
+    }
+    if (log2_mb >= pts[n - 1].log2Mb) {
+        return pts[n - 1].mm2PerMb;
+    }
+    for (int i = 1; i < n; ++i) {
+        if (log2_mb <= pts[i].log2Mb) {
+            const double t = (log2_mb - pts[i - 1].log2Mb) /
+                             (pts[i].log2Mb - pts[i - 1].log2Mb);
+            return pts[i - 1].mm2PerMb +
+                   t * (pts[i].mm2PerMb - pts[i - 1].mm2PerMb);
+        }
+    }
+    mouse_panic("unreachable");
+}
+
+} // namespace
+
+double
+roundUpPow2Mb(double required_mb)
+{
+    mouse_assert(required_mb > 0.0, "non-positive footprint");
+    double mb = 1.0;
+    while (mb < required_mb) {
+        mb *= 2.0;
+    }
+    return mb;
+}
+
+SquareMm
+mouseArea(TechConfig tech, double capacity_mb)
+{
+    const double density = modernDensity(std::log2(capacity_mb));
+    const SquareMm modern = density * capacity_mb;
+    switch (tech) {
+      case TechConfig::ModernStt:
+        return modern;
+      case TechConfig::ProjectedStt:
+        return modern * kProjectedSttScale;
+      case TechConfig::ProjectedShe:
+        return modern * kSheScale;
+    }
+    mouse_panic("unknown tech");
+}
+
+SquareMm
+mouseAreaForFootprint(TechConfig tech, double required_mb)
+{
+    return mouseArea(tech, roundUpPow2Mb(required_mb));
+}
+
+} // namespace mouse

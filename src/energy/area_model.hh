@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Area model reproducing the paper's Table III.
+ *
+ * The paper estimates cell area by sizing access transistors for
+ * < 1 kOhm on-resistance (transistors dominate; MTJs and SHE
+ * channels sit on a separate layer) and scales peripheral overhead
+ * by NVSim's area-efficiency ratios for same-sized arrays.  NVSim
+ * only handles power-of-two capacities, so benchmarks are assigned
+ * the smallest power-of-two array that fits.
+ *
+ * We encode the resulting calibration directly: mm^2-per-MB for the
+ * Modern STT configuration at the capacities NVSim was run for, a
+ * technology scale factor for Projected STT (smaller cells), and the
+ * roughly 2x factor for SHE (second access transistor per cell).
+ */
+
+#ifndef MOUSE_ENERGY_AREA_MODEL_HH
+#define MOUSE_ENERGY_AREA_MODEL_HH
+
+#include "common/types.hh"
+#include "device/mtj_params.hh"
+
+namespace mouse
+{
+
+/** Smallest power-of-two capacity (in MB) that fits @p required_mb. */
+double roundUpPow2Mb(double required_mb);
+
+/**
+ * Die area of a MOUSE accelerator with @p capacity_mb of memory in
+ * configuration @p tech.  @p capacity_mb must be a power of two (use
+ * roundUpPow2Mb); values between calibration points interpolate the
+ * per-MB density in log2(capacity).
+ */
+SquareMm mouseArea(TechConfig tech, double capacity_mb);
+
+/** Area for a benchmark needing @p required_mb, after rounding the
+ *  capacity up to a power of two. */
+SquareMm mouseAreaForFootprint(TechConfig tech, double required_mb);
+
+} // namespace mouse
+
+#endif // MOUSE_ENERGY_AREA_MODEL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Energy-harvesting power sources.
+ *
+ * The paper's evaluation models the harvester as a constant power
+ * source filling the buffer capacitor, swept from 60 uW (a 1 cm^2
+ * body-heat thermal harvester) to 5 mW (the Powercast RF harvester
+ * SONIC uses).  A piecewise trace source is provided for
+ * fluctuating-environment experiments beyond the paper.
+ */
+
+#ifndef MOUSE_HARVEST_POWER_SOURCE_HH
+#define MOUSE_HARVEST_POWER_SOURCE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mouse
+{
+
+/** Abstract harvester output-power model. */
+class PowerSource
+{
+  public:
+    virtual ~PowerSource() = default;
+
+    /** Instantaneous harvested power at absolute time @p t. */
+    virtual Watts power(Seconds t) const = 0;
+};
+
+/** Constant output (the paper's model). */
+class ConstantPowerSource : public PowerSource
+{
+  public:
+    explicit ConstantPowerSource(Watts p) : p_(p)
+    {
+        mouse_assert(p > 0.0, "non-positive source power");
+    }
+
+    Watts power(Seconds) const override { return p_; }
+
+  private:
+    Watts p_;
+};
+
+/** Piecewise-constant trace, cycling through (duration, power)
+ *  segments; models clouds over a solar cell etc. */
+class TracePowerSource : public PowerSource
+{
+  public:
+    struct Segment
+    {
+        Seconds duration;
+        Watts power;
+    };
+
+    explicit TracePowerSource(std::vector<Segment> segments)
+        : segments_(std::move(segments))
+    {
+        mouse_assert(!segments_.empty(), "empty power trace");
+        for (const Segment &s : segments_) {
+            mouse_assert(s.duration > 0.0, "non-positive segment");
+            period_ += s.duration;
+        }
+    }
+
+    Watts
+    power(Seconds t) const override
+    {
+        Seconds phase = std::fmod(t, period_);
+        for (const Segment &s : segments_) {
+            if (phase < s.duration) {
+                return s.power;
+            }
+            phase -= s.duration;
+        }
+        return segments_.back().power;
+    }
+
+    Seconds period() const { return period_; }
+
+  private:
+    std::vector<Segment> segments_;
+    Seconds period_ = 0.0;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_HARVEST_POWER_SOURCE_HH

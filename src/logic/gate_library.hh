@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Per-technology library of solved gates plus memory-operation
+ * operating points (write and read pulses).
+ *
+ * The library is the single source of truth for "what does one
+ * in-array operation cost" — both the tile-level functional
+ * simulator and the trace-level performance model draw from it, so
+ * the two fidelity levels can never disagree on device energy.
+ */
+
+#ifndef MOUSE_LOGIC_GATE_LIBRARY_HH
+#define MOUSE_LOGIC_GATE_LIBRARY_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "device/mtj_params.hh"
+#include "logic/gate.hh"
+#include "logic/gate_solver.hh"
+
+namespace mouse
+{
+
+/** Operating point of a memory write pulse. */
+struct WriteOp
+{
+    /** Voltage chosen to push overdrive * I_c through the worst-case
+     *  (highest resistance) write path. */
+    Volts voltage = 0.0;
+    /** Supply energy of a single-cell write pulse. */
+    Joules energy = 0.0;
+    Seconds pulseTime = 0.0;
+};
+
+/** Operating point of a memory read (sense) pulse. */
+struct ReadOp
+{
+    Volts voltage = 0.0;
+    /** Supply energy of sensing a single cell. */
+    Joules energy = 0.0;
+    Seconds pulseTime = 0.0;
+};
+
+/** Solved gates and memory operations for one device configuration. */
+class GateLibrary
+{
+  public:
+    /** Current overdrive factor applied to write pulses. */
+    static constexpr double kWriteOverdrive = 1.2;
+    /** Read current as a fraction of the switching current, keeping
+     *  reads non-destructive. */
+    static constexpr double kReadCurrentFraction = 0.3;
+
+    explicit GateLibrary(const DeviceConfig &cfg,
+                         double margin = kDefaultGateMargin);
+
+    const DeviceConfig &config() const { return cfg_; }
+
+    const SolvedGate &
+    gate(GateType g) const
+    {
+        return gates_[static_cast<std::size_t>(g)];
+    }
+
+    bool feasible(GateType g) const { return gate(g).feasible; }
+
+    /** Energy of one gate pulse for a specific input combination. */
+    Joules
+    gateEnergy(GateType g, unsigned inputs) const
+    {
+        return gate(g).energyByCombo[inputs];
+    }
+
+    /** Worst-case (max over combos) energy of one gate pulse. */
+    Joules gateWorstEnergy(GateType g) const { return gate(g).worstEnergy; }
+
+    /** Mean-over-combos energy of one gate pulse; used by the trace
+     *  model when the data values are not simulated. */
+    Joules gateAvgEnergy(GateType g) const { return gate(g).avgEnergy; }
+
+    /** Physically evaluate a gate (threshold model) at its solved
+     *  operating voltage. */
+    Bit
+    evaluate(GateType g, unsigned inputs) const
+    {
+        return gatePhysicalOutput(cfg_, g, gate(g).voltage, inputs);
+    }
+
+    const WriteOp &writeOp() const { return write_; }
+    const ReadOp &readOp() const { return read_; }
+
+    /** All gate types feasible under this technology. */
+    std::vector<GateType> feasibleGates() const;
+
+  private:
+    DeviceConfig cfg_;
+    std::array<SolvedGate, kNumGateTypes> gates_;
+    WriteOp write_;
+    ReadOp read_;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_LOGIC_GATE_LIBRARY_HH

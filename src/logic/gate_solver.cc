@@ -1,0 +1,113 @@
+#include "gate_solver.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "device/network.hh"
+
+namespace mouse
+{
+
+namespace
+{
+
+std::vector<MtjState>
+unpackInputs(unsigned inputs, int n)
+{
+    std::vector<MtjState> states;
+    states.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        states.push_back(stateFromBit((inputs >> i) & 1));
+    }
+    return states;
+}
+
+} // namespace
+
+SolvedGate
+solveGate(const DeviceConfig &cfg, GateType gate, double margin,
+          unsigned max_row_span)
+{
+    SolvedGate solved;
+    solved.type = gate;
+    solved.margin = margin;
+    solved.maxRowSpan = max_row_span;
+    solved.pulseTime = cfg.mtj.switchingTime;
+
+    const int n = gateNumInputs(gate);
+    const unsigned num_combos = 1u << n;
+    const MtjState preset = stateFromBit(gatePreset(gate));
+    const Amperes ic = cfg.mtj.switchingCurrent;
+
+    // Find the feasible window over all input combinations: switch
+    // cases see the most wire (max span), hold cases the least.
+    Ohms max_switch_r = 0.0;
+    Ohms min_hold_r = std::numeric_limits<Ohms>::infinity();
+    for (unsigned combo = 0; combo < num_combos; ++combo) {
+        if (gateShouldSwitch(gate, combo)) {
+            const Ohms r = gateLoopResistance(
+                cfg, unpackInputs(combo, n), preset, max_row_span);
+            max_switch_r = std::max(max_switch_r, r);
+        } else {
+            const Ohms r = gateLoopResistance(
+                cfg, unpackInputs(combo, n), preset, 0);
+            min_hold_r = std::min(min_hold_r, r);
+        }
+    }
+    mouse_assert(max_switch_r > 0.0,
+                 "gate with no switching combo is a constant");
+
+    solved.vMin = ic * max_switch_r;
+    solved.vMax = std::isinf(min_hold_r)
+                      ? solved.vMin * 10.0  // no hold combo: wide open
+                      : ic * min_hold_r;
+
+    const Volts lo = solved.vMin * (1.0 + margin);
+    const Volts hi = solved.vMax * (1.0 - margin);
+    if (lo > hi) {
+        solved.feasible = false;
+        return solved;
+    }
+    solved.feasible = true;
+    // Geometric centre keeps relative margin symmetric on both edges.
+    solved.voltage = std::sqrt(lo * hi);
+    // Rail awareness: prefer a voltage the switched-capacitor
+    // converter can actually produce from the bottom of the buffer
+    // window.  When even the highest rail misses the window the gate
+    // stays feasible — deployment then needs the extended ratio set
+    // (see harvest/converter.hh and bench_converter_rails).
+    const Volts max_rail = kMaxConverterRatio * cfg.capVoltageLow;
+    if (solved.voltage > max_rail && max_rail >= lo) {
+        solved.voltage = max_rail;
+    }
+
+    Joules sum = 0.0;
+    for (unsigned combo = 0; combo < num_combos; ++combo) {
+        const Amperes i = gateOutputCurrent(
+            cfg, solved.voltage, unpackInputs(combo, n), preset);
+        const Joules e = solved.voltage * i * solved.pulseTime;
+        solved.energyByCombo[combo] = e;
+        solved.worstEnergy = std::max(solved.worstEnergy, e);
+        sum += e;
+    }
+    solved.avgEnergy = sum / num_combos;
+    return solved;
+}
+
+Bit
+gatePhysicalOutput(const DeviceConfig &cfg, GateType gate, Volts voltage,
+                   unsigned inputs, unsigned row_span)
+{
+    const int n = gateNumInputs(gate);
+    const Bit preset = gatePreset(gate);
+    const Amperes i = gateOutputCurrent(cfg, voltage,
+                                        unpackInputs(inputs, n),
+                                        stateFromBit(preset),
+                                        row_span);
+    const bool switches = i >= cfg.mtj.switchingCurrent;
+    return switches ? static_cast<Bit>(!preset) : preset;
+}
+
+} // namespace mouse

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Operating-point solver for CRAM threshold gates.
+ *
+ * For a gate to work, the applied voltage V must satisfy, for every
+ * input combination:
+ *
+ *   should-switch:   V / R_loop(combo) >= I_c   (output must flip)
+ *   must-not-switch: V / R_loop(combo) <  I_c   (output must hold)
+ *
+ * which defines a feasible window [vMin, vMax):
+ *
+ *   vMin = I_c * max{R_loop : combo should switch}
+ *   vMax = I_c * min{R_loop : combo must not switch}
+ *
+ * Real devices need noise margin: we require
+ * vMin * (1 + margin) <= vMax * (1 - margin) and operate at the
+ * geometric centre of the margined window.  Gates whose window
+ * collapses for a given technology (e.g. MAJ3 on low-TMR modern
+ * MTJs) are reported infeasible and the compiler avoids them.
+ */
+
+#ifndef MOUSE_LOGIC_GATE_SOLVER_HH
+#define MOUSE_LOGIC_GATE_SOLVER_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "device/mtj_params.hh"
+#include "logic/gate.hh"
+
+namespace mouse
+{
+
+/** Default relative noise margin on both window edges. */
+constexpr double kDefaultGateMargin = 0.05;
+
+/** Result of solving one gate type for one device configuration. */
+struct SolvedGate
+{
+    GateType type = GateType::kNand2;
+    bool feasible = false;
+    /** Largest input-to-output row distance the operating point is
+     *  guaranteed for (only meaningful with wire parasitics). */
+    unsigned maxRowSpan = 0;
+    /** Raw feasible window (margin not yet applied). */
+    Volts vMin = 0.0;
+    Volts vMax = 0.0;
+    /** Chosen operating voltage; 0 when infeasible. */
+    Volts voltage = 0.0;
+    /** Margin requirement the solution satisfies. */
+    double margin = kDefaultGateMargin;
+    /** Pulse duration (the device switching time). */
+    Seconds pulseTime = 0.0;
+    /**
+     * Supply energy of one pulse for each input combination
+     * (index = packed input bits).  Only the first 2^numInputs
+     * entries are meaningful.
+     */
+    std::array<Joules, 8> energyByCombo{};
+    /** Max and mean of energyByCombo over valid combos. */
+    Joules worstEnergy = 0.0;
+    Joules avgEnergy = 0.0;
+};
+
+/**
+ * Solve the operating point of @p gate under @p cfg.
+ *
+ * With wire parasitics, the window is solved for the worst case on
+ * both edges: must-switch combinations at the largest row span
+ * (most series wire, least current) and must-hold combinations at
+ * span zero (least wire, most current) — so one voltage serves any
+ * operand placement up to @p max_row_span.
+ *
+ * @param cfg Device configuration.
+ * @param gate Gate type to solve.
+ * @param margin Relative noise margin (both edges).
+ * @param max_row_span Largest input-to-output row distance the
+ *        operating point must support (ignored with ideal wires).
+ */
+SolvedGate solveGate(const DeviceConfig &cfg, GateType gate,
+                     double margin = kDefaultGateMargin,
+                     unsigned max_row_span = 0);
+
+/**
+ * Physically evaluate a gate at a given voltage: compute the output
+ * current for the input combination and apply the threshold.
+ *
+ * @param row_span Actual logic-line distance of this execution.
+ * @return Final output bit (preset if the current is sub-critical,
+ *         !preset otherwise).
+ */
+Bit gatePhysicalOutput(const DeviceConfig &cfg, GateType gate,
+                       Volts voltage, unsigned inputs,
+                       unsigned row_span = 0);
+
+} // namespace mouse
+
+#endif // MOUSE_LOGIC_GATE_SOLVER_HH

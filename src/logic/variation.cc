@@ -1,0 +1,84 @@
+#include "variation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/network.hh"
+
+namespace mouse
+{
+
+namespace
+{
+
+/** Log-normal factor with median 1 and log-sigma @p sigma. */
+double
+lognormal(Rng &rng, double sigma)
+{
+    return std::exp(sigma * rng.normal());
+}
+
+} // namespace
+
+VariationResult
+gateErrorRate(const GateLibrary &lib, GateType gate,
+              const VariationModel &model, std::uint64_t trials,
+              Rng &rng)
+{
+    const SolvedGate &solved = lib.gate(gate);
+    mouse_assert(solved.feasible, "stressing an infeasible gate");
+    const DeviceConfig &cfg = lib.config();
+    const int n = gateNumInputs(gate);
+    const Bit preset = gatePreset(gate);
+    const MtjState preset_state = stateFromBit(preset);
+
+    VariationResult result;
+    result.gate = gate;
+    result.trials = trials;
+
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        const unsigned combo =
+            static_cast<unsigned>(t % (1ull << n));
+        // Perturbed input branches.
+        std::vector<Ohms> branches;
+        branches.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            const MtjState s = stateFromBit((combo >> i) & 1);
+            const Ohms nominal = s == MtjState::AP
+                                     ? cfg.mtj.rAntiParallel
+                                     : cfg.mtj.rParallel;
+            Ohms branch = nominal *
+                          lognormal(rng, model.resistanceSigma);
+            branch += cfg.accessTransistorR;
+            if (cfg.cell == CellKind::She2T1M) {
+                branch += cfg.sheChannelR;
+            }
+            branches.push_back(branch);
+        }
+        // Perturbed output branch.
+        Ohms out_branch;
+        if (cfg.cell == CellKind::She2T1M) {
+            out_branch = cfg.sheChannelR + cfg.accessTransistorR;
+        } else {
+            const Ohms nominal = preset_state == MtjState::AP
+                                     ? cfg.mtj.rAntiParallel
+                                     : cfg.mtj.rParallel;
+            out_branch = nominal *
+                             lognormal(rng, model.resistanceSigma) +
+                         cfg.accessTransistorR;
+        }
+        const Amperes current =
+            solved.voltage /
+            (parallelResistance(branches) + out_branch);
+        const Amperes threshold =
+            cfg.mtj.switchingCurrent *
+            lognormal(rng, model.switchingCurrentSigma);
+
+        const bool switches = current >= threshold;
+        const Bit out = switches ? static_cast<Bit>(!preset) : preset;
+        result.failures += out != gateTruth(gate, combo);
+    }
+    return result;
+}
+
+} // namespace mouse

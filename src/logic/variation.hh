@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Device-variation robustness analysis (Monte Carlo).
+ *
+ * The paper's correctness story assumes nominal device parameters;
+ * real MTJ arrays show die-to-die and cell-to-cell spread in
+ * resistance and critical current.  This module quantifies how much
+ * spread each gate tolerates: every trial perturbs the input/output
+ * MTJ resistances and the switching threshold by log-normal factors,
+ * recomputes the gate current at the solved operating voltage, and
+ * checks the threshold decision against the ideal truth table.
+ *
+ * The result backs two design knobs with numbers:
+ *  - the noise margin passed to the gate solver (wider margins buy
+ *    variation tolerance at the cost of the feasible gate set);
+ *  - the STT-vs-SHE choice (the SHE output path removes the output
+ *    MTJ resistance from the divider, widening effective margins).
+ */
+
+#ifndef MOUSE_LOGIC_VARIATION_HH
+#define MOUSE_LOGIC_VARIATION_HH
+
+#include "common/rng.hh"
+#include "logic/gate_library.hh"
+
+namespace mouse
+{
+
+/** Variation magnitudes (relative sigmas of log-normal factors). */
+struct VariationModel
+{
+    /** MTJ resistance spread (both states, independent per cell). */
+    double resistanceSigma = 0.05;
+    /** Critical switching current spread of the output cell. */
+    double switchingCurrentSigma = 0.05;
+};
+
+/** Monte Carlo outcome for one gate. */
+struct VariationResult
+{
+    GateType gate = GateType::kNand2;
+    std::uint64_t trials = 0;
+    std::uint64_t failures = 0;
+
+    double
+    errorRate() const
+    {
+        return trials ? static_cast<double>(failures) /
+                            static_cast<double>(trials)
+                      : 0.0;
+    }
+};
+
+/**
+ * Estimate the per-operation error rate of @p gate under variation.
+ *
+ * @param lib Solved library (provides the operating voltage).
+ * @param gate Gate to stress; must be feasible in @p lib.
+ * @param model Variation magnitudes.
+ * @param trials Monte Carlo sample count (spread across all input
+ *        combinations uniformly).
+ * @param rng Deterministic sample stream.
+ */
+VariationResult gateErrorRate(const GateLibrary &lib, GateType gate,
+                              const VariationModel &model,
+                              std::uint64_t trials, Rng &rng);
+
+} // namespace mouse
+
+#endif // MOUSE_LOGIC_VARIATION_HH

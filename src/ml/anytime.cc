@@ -1,0 +1,73 @@
+#include "anytime.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+SvmModel
+rankByCoefficient(const SvmModel &model)
+{
+    SvmModel ranked;
+    ranked.numClasses = model.numClasses;
+    ranked.classifiers.reserve(model.classifiers.size());
+    for (const BinarySvm &clf : model.classifiers) {
+        std::vector<std::size_t> order(clf.supportVectors.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return std::abs(clf.coefficients[a]) >
+                                    std::abs(clf.coefficients[b]);
+                         });
+        BinarySvm out;
+        out.bias = clf.bias;
+        out.supportVectors.reserve(order.size());
+        out.coefficients.reserve(order.size());
+        for (std::size_t i : order) {
+            out.supportVectors.push_back(clf.supportVectors[i]);
+            out.coefficients.push_back(clf.coefficients[i]);
+        }
+        ranked.classifiers.push_back(std::move(out));
+    }
+    return ranked;
+}
+
+SvmModel
+truncateModel(const SvmModel &model, double fraction)
+{
+    mouse_assert(fraction > 0.0 && fraction <= 1.0,
+                 "fraction out of range");
+    SvmModel out;
+    out.numClasses = model.numClasses;
+    out.classifiers.reserve(model.classifiers.size());
+    for (const BinarySvm &clf : model.classifiers) {
+        const auto keep = static_cast<std::size_t>(std::ceil(
+            fraction *
+            static_cast<double>(clf.supportVectors.size())));
+        BinarySvm t;
+        t.bias = clf.bias;
+        t.supportVectors.assign(
+            clf.supportVectors.begin(),
+            clf.supportVectors.begin() +
+                static_cast<std::ptrdiff_t>(keep));
+        t.coefficients.assign(
+            clf.coefficients.begin(),
+            clf.coefficients.begin() +
+                static_cast<std::ptrdiff_t>(keep));
+        out.classifiers.push_back(std::move(t));
+    }
+    return out;
+}
+
+double
+anytimeAccuracy(const SvmModel &ranked, double fraction,
+                const Dataset &test)
+{
+    return svmAccuracy(truncateModel(ranked, fraction), test);
+}
+
+} // namespace mouse

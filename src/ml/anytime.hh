@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Anytime (approximate) inference — the "What's Next" idea from the
+ * paper's related work (Section X), applied to MOUSE's SVMs.
+ *
+ * Rather than all-or-nothing inference, the support vectors of each
+ * classifier are ranked by dual-coefficient magnitude and evaluated
+ * most-important-first; the device can stop after any prefix and
+ * emit the interim arg-max.  On an energy-harvesting budget this
+ * trades accuracy for inferences-per-charge: the energy of a run
+ * scales with the prefix fraction (the MAC phase dominates), which
+ * buildSvmTrace can price directly by shrinking the workload.
+ */
+
+#ifndef MOUSE_ML_ANYTIME_HH
+#define MOUSE_ML_ANYTIME_HH
+
+#include "ml/svm.hh"
+
+namespace mouse
+{
+
+/**
+ * Rank every classifier's support vectors by |coefficient| descending
+ * (the order an anytime schedule should evaluate them in).
+ */
+SvmModel rankByCoefficient(const SvmModel &model);
+
+/**
+ * Keep only the first ceil(fraction * n) support vectors of each
+ * (ranked) classifier.
+ *
+ * @param model A model, ideally ranked by rankByCoefficient().
+ * @param fraction Prefix fraction in (0, 1].
+ */
+SvmModel truncateModel(const SvmModel &model, double fraction);
+
+/** Accuracy of the anytime prefix at @p fraction on @p test. */
+double anytimeAccuracy(const SvmModel &ranked, double fraction,
+                       const Dataset &test);
+
+} // namespace mouse
+
+#endif // MOUSE_ML_ANYTIME_HH

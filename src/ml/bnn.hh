@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Binary neural networks (paper Section III).
+ *
+ * Neurons and weights are one bit each; a layer computes, per output
+ * neuron, popcount(XNOR(weights, activations)) against an integer
+ * threshold.  This maps directly onto MOUSE: XNOR gates plus a
+ * popcount adder chain per column (and is what buildBnnTrace prices).
+ *
+ * The paper reuses the FINN and FP-BNN network configurations with
+ * training done offline; here training uses the standard
+ * straight-through-estimator (real-valued shadow weights, binarized
+ * forward pass) on the synthetic datasets.
+ */
+
+#ifndef MOUSE_ML_BNN_HH
+#define MOUSE_ML_BNN_HH
+
+#include <cstdint>
+
+#include "ml/dataset.hh"
+
+namespace mouse
+{
+
+/** One fully-connected binary layer. */
+struct BnnLayer
+{
+    unsigned inputs = 0;
+    unsigned outputs = 0;
+    /** weights[o][i] in {0,1} encoding {-1,+1}. */
+    std::vector<std::vector<Bit>> weights;
+    /**
+     * Activation threshold on the XNOR popcount (folds batch-norm):
+     * neuron fires iff popcount >= threshold[o].
+     */
+    std::vector<std::int32_t> thresholds;
+};
+
+/** A binary MLP: binary hidden layers + integer-output final layer. */
+struct BnnModel
+{
+    std::vector<BnnLayer> hidden;
+    /** Final layer: one weight row per class, scored by popcount. */
+    BnnLayer output;
+
+    /** Binary forward pass through the hidden layers. */
+    std::vector<Bit> hiddenForward(const std::vector<Bit> &in) const;
+
+    /** Integer class scores (2*popcount - n per class). */
+    std::vector<std::int32_t>
+    scores(const std::vector<Bit> &in) const;
+
+    int predict(const std::vector<Bit> &in) const;
+
+    /** Model weight footprint in bits. */
+    std::size_t weightBits() const;
+};
+
+/** Network shape presets from the paper. */
+struct BnnShape
+{
+    unsigned inputBits = 784;
+    std::vector<unsigned> hiddenWidths = {1024, 1024, 1024};
+    unsigned numClasses = 10;
+};
+
+/** FINN MNIST configuration: binarized input, 3x1024 hidden. */
+BnnShape finnShape();
+
+/** FP-BNN MNIST configuration: 8-bit input (bit-planes feed 8x the
+ *  input bits), 3x2048 hidden. */
+BnnShape fpBnnShape();
+
+/** Training hyper-parameters for the straight-through estimator. */
+struct BnnTrainConfig
+{
+    unsigned epochs = 5;
+    double learningRate = 0.01;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Train a BNN of @p shape on binarized features.  Feature vectors
+ * must already be bits (use binarize() for 8-bit data, or bit-plane
+ * expansion for FP-BNN-style inputs).
+ */
+BnnModel trainBnn(const Dataset &train_bits, const BnnShape &shape,
+                  const BnnTrainConfig &cfg = BnnTrainConfig{});
+
+/** Classification accuracy on binarized features. */
+double bnnAccuracy(const BnnModel &model, const Dataset &test_bits);
+
+/** Expand 8-bit features into bit-planes (FP-BNN input handling). */
+std::vector<Bit> bitPlanes(const Features &f);
+
+} // namespace mouse
+
+#endif // MOUSE_ML_BNN_HH

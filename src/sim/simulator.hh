@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The MOUSE execution simulators (paper Section VIII).
+ *
+ * Two fidelity levels share one energy model:
+ *
+ *  - Functional: drives the Controller/TileGrid bit-exact machine,
+ *    including real micro-step power cuts and the full restart
+ *    protocol.  Used to *prove* intermittent correctness and to run
+ *    the small end-to-end examples.
+ *
+ *  - Trace: consumes a compressed instruction trace; each
+ *    instruction's cost comes from EnergyModel::estimate*.  Used for
+ *    the paper's large benchmarks where simulating 10^10 MTJ bit
+ *    updates would be pointless — the instruction stream is data-
+ *    independent, so cycle counts are exact and energy differs only
+ *    by the data-dependence of gate pulse currents.
+ *
+ * Both can run under continuous power or against a harvesting
+ * environment (capacitor + power source + voltage window).
+ */
+
+#ifndef MOUSE_SIM_SIMULATOR_HH
+#define MOUSE_SIM_SIMULATOR_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "compile/program.hh"
+#include "controller/controller.hh"
+#include "harvest/capacitor.hh"
+#include "harvest/converter.hh"
+#include "harvest/power_source.hh"
+#include "sim/stats.hh"
+
+namespace mouse
+{
+
+/** Harvesting environment description. */
+struct HarvestConfig
+{
+    /** Harvester output power (constant-source model). */
+    Watts sourcePower = 60e-6;
+    /**
+     * Optional time-varying source (e.g. TracePowerSource for a
+     * solar day/night cycle).  Non-owning; when set it overrides
+     * sourcePower and charging is integrated numerically over the
+     * run's absolute time.
+     */
+    const PowerSource *source = nullptr;
+    /** Converter efficiency; 1.0 reproduces the paper's accounting
+     *  (regulator overhead excluded). */
+    double converterEfficiency = 1.0;
+    /** Non-zero: replace the configuration's buffer capacitor (the
+     *  Capybara-style tuning knob; also lets small demo programs
+     *  experience real outages). */
+    Farads capacitanceOverride = 0.0;
+    /** Start from an empty buffer (the paper's initial condition);
+     *  when false the buffer starts at the shutdown voltage. */
+    bool startEmpty = true;
+    /** Consecutive failed attempts at one instruction before the run
+     *  is declared non-terminating. */
+    unsigned nonTerminationLimit = 8;
+    /**
+     * Checkpoint period in instructions (Section IV-D study knob).
+     * MOUSE's design point is 1 (checkpoint every cycle); larger
+     * periods divide the backup cost by N but replay up to N
+     * instructions per outage as Dead work.  Trace mode only — the
+     * functional controller implements the paper's per-cycle
+     * protocol.
+     */
+    unsigned checkpointPeriod = 1;
+    /** Seed for the micro-step outage positions (functional mode). */
+    std::uint64_t seed = 1;
+};
+
+/** Continuous-power functional run of a full program. */
+RunStats runContinuousFunctional(Controller &ctrl);
+
+/** Continuous-power analytical run of a compressed trace. */
+RunStats runContinuousTrace(const Trace &trace,
+                            const EnergyModel &energy);
+
+/**
+ * Harvested functional run: executes the program against the
+ * capacitor model, cutting power mid-instruction (at a micro-step
+ * chosen by where the energy actually ran out) whenever the buffer
+ * hits the shutdown voltage, then performing the paper's restart
+ * protocol.
+ *
+ * @throws via mouse_fatal on detected non-termination (the buffer
+ *         cannot cover even one instruction plus restore).
+ */
+RunStats runHarvestedFunctional(Controller &ctrl,
+                                const HarvestConfig &harvest);
+
+/** Harvested trace run: same environment model over a compressed
+ *  trace. */
+RunStats runHarvestedTrace(const Trace &trace,
+                           const EnergyModel &energy,
+                           const HarvestConfig &harvest);
+
+} // namespace mouse
+
+#endif // MOUSE_SIM_SIMULATOR_HH

@@ -1,0 +1,26 @@
+#include "stats.hh"
+
+#include <sstream>
+
+namespace mouse
+{
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << "instructions: " << instructionsCommitted << " committed, "
+       << instructionsDead << " dead, " << outages << " outages\n";
+    os << "latency [us]: total " << totalTime() * 1e6 << " (active "
+       << activeTime * 1e6 << ", dead " << deadTime * 1e6
+       << ", restore " << restoreTime * 1e6 << ", charging "
+       << chargingTime * 1e6 << ")\n";
+    os << "energy [uJ]: total " << totalEnergy() * 1e6 << " (compute "
+       << computeEnergy * 1e6 << ", backup " << backupEnergy * 1e6
+       << ", dead " << deadEnergy * 1e6 << ", restore "
+       << restoreEnergy * 1e6 << ", idle " << idleEnergy * 1e6
+       << ")";
+    return os.str();
+}
+
+} // namespace mouse

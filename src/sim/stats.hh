@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Run statistics following the EH-model metric taxonomy the paper
+ * reports (Section VIII, Figures 10-12):
+ *
+ *  - Compute: fetch + array + peripheral energy of instructions that
+ *    committed;
+ *  - Backup: the continuous PC/parity checkpoint writes and the
+ *    Activate Columns shadow-register writes;
+ *  - Dead: energy spent on instruction attempts that an outage
+ *    prevented from committing (re-performed work);
+ *  - Restore: re-issuing the Activate Columns journal on restart;
+ *  - Idle: standby leakage while energized.
+ *
+ * Latency splits likewise into active execution, dead (failed
+ * attempts), restore cycles, and time spent powered off waiting for
+ * the capacitor to recharge.  Backup has no latency: it happens
+ * within each instruction cycle (Section VIII).
+ */
+
+#ifndef MOUSE_SIM_STATS_HH
+#define MOUSE_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mouse
+{
+
+/** Full accounting of one simulated inference run. */
+struct RunStats
+{
+    // -- Work -----------------------------------------------------------
+    /** Instructions that committed (program progress). */
+    std::uint64_t instructionsCommitted = 0;
+    /** Instruction attempts killed by outages. */
+    std::uint64_t instructionsDead = 0;
+    /** Number of power outages (= number of restarts). */
+    std::uint64_t outages = 0;
+
+    // -- Latency --------------------------------------------------------
+    /** Time executing committed instructions. */
+    Seconds activeTime = 0.0;
+    /** Time lost to attempts that did not commit. */
+    Seconds deadTime = 0.0;
+    /** Time re-issuing activations on restart. */
+    Seconds restoreTime = 0.0;
+    /** Time powered off, waiting for the capacitor. */
+    Seconds chargingTime = 0.0;
+
+    Seconds
+    totalTime() const
+    {
+        return activeTime + deadTime + restoreTime + chargingTime;
+    }
+
+    // -- Energy -----------------------------------------------------------
+    Joules computeEnergy = 0.0;
+    Joules backupEnergy = 0.0;
+    Joules deadEnergy = 0.0;
+    Joules restoreEnergy = 0.0;
+    Joules idleEnergy = 0.0;
+
+    Joules
+    totalEnergy() const
+    {
+        return computeEnergy + backupEnergy + deadEnergy +
+               restoreEnergy + idleEnergy;
+    }
+
+    // -- Derived shares (Figures 10-12 commentary) -----------------------
+    double
+    deadEnergyShare() const
+    {
+        return totalEnergy() > 0.0 ? deadEnergy / totalEnergy() : 0.0;
+    }
+
+    double
+    backupEnergyShare() const
+    {
+        return totalEnergy() > 0.0 ? backupEnergy / totalEnergy() : 0.0;
+    }
+
+    double
+    restoreEnergyShare() const
+    {
+        return totalEnergy() > 0.0 ? restoreEnergy / totalEnergy()
+                                   : 0.0;
+    }
+
+    double
+    deadTimeShare() const
+    {
+        return totalTime() > 0.0 ? deadTime / totalTime() : 0.0;
+    }
+
+    double
+    restoreTimeShare() const
+    {
+        return totalTime() > 0.0 ? restoreTime / totalTime() : 0.0;
+    }
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace mouse
+
+#endif // MOUSE_SIM_STATS_HH

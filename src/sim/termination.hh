@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static forward-progress (non-termination) analysis.
+ *
+ * The paper (Sections I, IV-C) identifies non-termination as a core
+ * intermittent-computing hazard: if the energy needed between two
+ * checkpoints exceeds what one full buffer charge can deliver, the
+ * device re-executes the same instruction forever.  MOUSE
+ * checkpoints every instruction, so the per-checkpoint quantum is a
+ * single instruction plus the restart restore — which this analyzer
+ * bounds *statically* over a compiled trace, in the spirit of
+ * CleanCut's compile-time energy checking but exact rather than
+ * statistical (MOUSE programs are straight-line).
+ *
+ * The analysis answers, without simulation:
+ *  - does every instruction fit in one buffer burst (with restore)?
+ *  - which trace block is the binding constraint?
+ *  - the minimum buffer capacitance and the maximum usable
+ *    column-parallelism for a given environment.
+ */
+
+#ifndef MOUSE_SIM_TERMINATION_HH
+#define MOUSE_SIM_TERMINATION_HH
+
+#include "compile/program.hh"
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+
+namespace mouse
+{
+
+/** Result of the static forward-progress analysis. */
+struct TerminationReport
+{
+    /** Whether every instruction can complete within one burst. */
+    bool terminates = false;
+    /** Usable energy of one full buffer burst (load side). */
+    Joules burstEnergy = 0.0;
+    /** Cost of the most expensive single instruction (fetch + op +
+     *  backup), load side. */
+    Joules worstInstructionEnergy = 0.0;
+    /** Restore cost charged after each restart for the binding
+     *  block. */
+    Joules worstRestoreEnergy = 0.0;
+    /** Index of the binding block in the trace. */
+    std::size_t bindingBlock = 0;
+    /** Safety margin: burst / (worst instruction + restore).  > 1
+     *  means forward progress is guaranteed; well above 1 means many
+     *  instructions per burst. */
+    double margin = 0.0;
+    /** Smallest buffer capacitance (at the configured voltage
+     *  window) that still guarantees progress. */
+    Farads minCapacitance = 0.0;
+};
+
+/** Analyze a compressed trace against a harvesting environment. */
+TerminationReport analyzeTermination(const Trace &trace,
+                                     const EnergyModel &energy,
+                                     const HarvestConfig &harvest);
+
+/**
+ * Largest column-parallelism for which a gate instruction still fits
+ * in one burst of the configuration's buffer, i.e. the hard cap the
+ * paper's Section VIII warning about "high levels of parallelism can
+ * increase the restart cost" implies.
+ */
+unsigned maxSafeParallelism(const EnergyModel &energy,
+                            const HarvestConfig &harvest);
+
+} // namespace mouse
+
+#endif // MOUSE_SIM_TERMINATION_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the anytime-inference extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/anytime.hh"
+
+namespace mouse
+{
+namespace
+{
+
+SvmModel
+trainedModel()
+{
+    const Dataset train =
+        makeSynthetic(DataShape::AdultLike, 200, 7, 90.0);
+    return trainSvm(train);
+}
+
+TEST(Anytime, RankingSortsByCoefficientMagnitude)
+{
+    const SvmModel ranked = rankByCoefficient(trainedModel());
+    for (const BinarySvm &clf : ranked.classifiers) {
+        for (std::size_t i = 1; i < clf.coefficients.size(); ++i) {
+            EXPECT_GE(std::abs(clf.coefficients[i - 1]),
+                      std::abs(clf.coefficients[i]));
+        }
+    }
+}
+
+TEST(Anytime, RankingPreservesPredictions)
+{
+    const SvmModel model = trainedModel();
+    const SvmModel ranked = rankByCoefficient(model);
+    const Dataset test =
+        makeSynthetic(DataShape::AdultLike, 60, 8, 90.0);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        EXPECT_EQ(ranked.predict(test.x[i]), model.predict(test.x[i]));
+    }
+}
+
+TEST(Anytime, FullFractionIsIdentity)
+{
+    const SvmModel ranked = rankByCoefficient(trainedModel());
+    const SvmModel full = truncateModel(ranked, 1.0);
+    EXPECT_EQ(full.totalSupportVectors(),
+              ranked.totalSupportVectors());
+    const Dataset test =
+        makeSynthetic(DataShape::AdultLike, 40, 9, 90.0);
+    EXPECT_DOUBLE_EQ(anytimeAccuracy(ranked, 1.0, test),
+                     svmAccuracy(ranked, test));
+}
+
+TEST(Anytime, TruncationShrinksMonotonically)
+{
+    const SvmModel ranked = rankByCoefficient(trainedModel());
+    std::size_t prev = ranked.totalSupportVectors() + 1;
+    for (double f : {1.0, 0.5, 0.25, 0.1}) {
+        const SvmModel t = truncateModel(ranked, f);
+        EXPECT_LT(t.totalSupportVectors(), prev);
+        EXPECT_GE(t.totalSupportVectors(),
+                  ranked.classifiers.size());  // ceil keeps >= 1 each
+        prev = t.totalSupportVectors();
+    }
+}
+
+TEST(Anytime, TinyFractionKeepsOnePerClassifier)
+{
+    const SvmModel ranked = rankByCoefficient(trainedModel());
+    const SvmModel t = truncateModel(ranked, 1e-6);
+    for (const BinarySvm &clf : t.classifiers) {
+        EXPECT_EQ(clf.supportVectors.size(), 1u);
+    }
+}
+
+} // namespace
+} // namespace mouse

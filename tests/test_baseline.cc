@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the comparison baselines: the SONIC analytic model and
+ * the CPU reference rows, including the cross-system orderings the
+ * paper's Table IV and Figure 9 report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu.hh"
+#include "baseline/sonic.hh"
+#include "ml/mapping.hh"
+#include "sim/simulator.hh"
+
+namespace mouse
+{
+namespace
+{
+
+TEST(Sonic, ContinuousMatchesTableFour)
+{
+    const SonicModel mnist(sonicMnist());
+    const RunStats run = mnist.runContinuous();
+    EXPECT_DOUBLE_EQ(run.totalTime(), 2.74);
+    EXPECT_DOUBLE_EQ(run.totalEnergy(), 27000e-6);
+    EXPECT_NEAR(mnist.activePower(), 27000e-6 / 2.74, 1e-9);
+
+    const SonicModel har(sonicHar());
+    EXPECT_DOUBLE_EQ(har.runContinuous().totalTime(), 1.10);
+}
+
+TEST(Sonic, HarvestedLatencyFallsWithPower)
+{
+    const SonicModel mnist(sonicMnist());
+    Seconds prev = 1e18;
+    for (Watts p : {60e-6, 500e-6, 5e-3}) {
+        const RunStats run = mnist.runHarvested(p);
+        EXPECT_LT(run.totalTime(), prev);
+        prev = run.totalTime();
+    }
+}
+
+TEST(Sonic, StrongSourceSustainsContinuousOperation)
+{
+    const SonicModel mnist(sonicMnist());
+    // The MNIST active power is ~9.9 mW; a 20 mW source never cuts.
+    const RunStats run = mnist.runHarvested(20e-3);
+    EXPECT_EQ(run.outages, 0u);
+    EXPECT_DOUBLE_EQ(run.totalTime(), 2.74);
+}
+
+TEST(Sonic, WeakSourceIsChargingDominated)
+{
+    const SonicModel mnist(sonicMnist());
+    const RunStats run = mnist.runHarvested(60e-6);
+    EXPECT_GT(run.chargingTime, 100.0);  // ~27 mJ / 60 uW ~ 450 s
+    EXPECT_GT(run.chargingTime, run.activeTime * 10);
+    EXPECT_GT(run.outages, 0u);
+    EXPECT_GT(run.deadEnergy, 0.0);
+}
+
+TEST(Cpu, PaperRowsPresent)
+{
+    const auto rows = cpuSvmRows();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].name, "MNIST");
+    EXPECT_NEAR(rows[0].latency, 169824e-6, 1e-9);
+    EXPECT_NEAR(rows[0].energy, 5094702e-6, 1e-9);
+    EXPECT_EQ(rows[0].supportVectors, 11813u);
+
+    const auto lib_rows = libSvmRows();
+    ASSERT_EQ(lib_rows.size(), 4u);
+    EXPECT_EQ(lib_rows[3].name, "ADULT");
+    EXPECT_EQ(lib_rows[3].supportVectors, 15792u);
+}
+
+TEST(Cpu, EstimateAnchorsToMnistRow)
+{
+    const CpuBenchmark est = estimateCpuSvm("MNIST", 11813, 784);
+    EXPECT_NEAR(est.latency, 169824e-6, 1e-6);
+    EXPECT_NEAR(est.energy, est.latency * kHaswellIdlePower, 1e-9);
+    // Scaling: half the support vectors, half the time.
+    const CpuBenchmark half = estimateCpuSvm("half", 5906, 784);
+    EXPECT_NEAR(half.latency, est.latency / 2.0, est.latency * 0.01);
+}
+
+TEST(CrossSystem, MouseBeatsSonicOnEnergyAndLatency)
+{
+    // The paper's headline: orders-of-magnitude energy advantage and
+    // lower latency even under much weaker power sources.
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    SvmWorkload work;
+    work.name = "mnist";
+    work.numSupportVectors = 11813;
+    work.dim = 784;
+    work.inputBits = 8;
+    work.numClasses = 10;
+    MouseShape shape;
+    shape.numDataTiles = 448;
+    const Trace trace = buildSvmTrace(lib, work, shape);
+    const RunStats mouse_run = runContinuousTrace(trace, energy);
+
+    const SonicModel sonic(sonicMnist());
+    const RunStats sonic_run = sonic.runContinuous();
+
+    EXPECT_LT(mouse_run.totalTime(), sonic_run.totalTime() / 10);
+    EXPECT_LT(mouse_run.totalEnergy(), sonic_run.totalEnergy() / 5);
+
+    // Under harvesting at 60 uW, MOUSE still finishes faster than
+    // SONIC does at the same source (Figure 9).
+    HarvestConfig harvest;
+    harvest.sourcePower = 60e-6;
+    const RunStats mouse_h = runHarvestedTrace(trace, energy, harvest);
+    const RunStats sonic_h = sonic.runHarvested(60e-6);
+    EXPECT_LT(mouse_h.totalTime(), sonic_h.totalTime());
+}
+
+TEST(CrossSystem, MouseBeatsCpuOnEnergy)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    SvmWorkload work;
+    work.name = "adult";
+    work.numSupportVectors = 1909;
+    work.dim = 15;
+    work.inputBits = 8;
+    work.numClasses = 2;
+    MouseShape shape;
+    shape.numDataTiles = 7;
+    const Trace trace = buildSvmTrace(lib, work, shape);
+    const RunStats mouse_run = runContinuousTrace(trace, energy);
+    // Table IV ADULT: CPU burns 131 mJ; MOUSE about 7 uJ.
+    EXPECT_LT(mouse_run.totalEnergy(), 131052e-6 / 100);
+}
+
+} // namespace
+} // namespace mouse

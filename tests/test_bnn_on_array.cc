@@ -1,0 +1,170 @@
+/**
+ * @file
+ * End-to-end BNN-on-array tests: the compiled XNOR/popcount/threshold
+ * neuron kernel is executed on the bit-exact functional simulator —
+ * one neuron per column — and checked against the software BnnModel,
+ * under continuous power and under harvesting with real outages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/accelerator.hh"
+#include "ml/mapping.hh"
+
+namespace mouse
+{
+namespace
+{
+
+class BnnOnArray : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned kInputs = 12;
+    static constexpr unsigned kNeurons = 8;
+    static constexpr RowAddr kWBase = 0;
+    static constexpr RowAddr kXBase = 2;   // interleaved even rows
+    static constexpr RowAddr kThreshBase = 101;
+
+    BnnOnArray()
+    {
+        cfg_.tech = TechConfig::ProjectedStt;
+        cfg_.array.tileRows = 512;
+        cfg_.array.tileCols = kNeurons;
+        cfg_.array.numDataTiles = 1;
+        cfg_.array.numInstructionTiles = 1024;
+    }
+
+    Program
+    buildProgram(Accelerator &acc)
+    {
+        KernelBuilder kb(acc.gateLibrary(), cfg_.array, 0, 120);
+        kb.activate(0, kNeurons - 1);
+        buildSmallBnnNeuronKernel(kb, kWBase, kXBase, kThreshBase,
+                                  kInputs, count_, fires_);
+        return kb.finish();
+    }
+
+    /** Random layer + input; loads weights/thresholds into columns. */
+    void
+    seed(Accelerator &acc, Rng &rng)
+    {
+        layer_.inputs = kInputs;
+        layer_.outputs = kNeurons;
+        layer_.weights.assign(kNeurons, std::vector<Bit>(kInputs));
+        layer_.thresholds.resize(kNeurons);
+        input_.resize(kInputs);
+        for (unsigned i = 0; i < kInputs; ++i) {
+            input_[i] = static_cast<Bit>(rng.below(2));
+        }
+        for (unsigned n = 0; n < kNeurons; ++n) {
+            for (unsigned i = 0; i < kInputs; ++i) {
+                layer_.weights[n][i] = static_cast<Bit>(rng.below(2));
+            }
+            layer_.thresholds[n] =
+                static_cast<std::int32_t>(rng.below(kInputs + 1));
+            for (unsigned i = 0; i < kInputs; ++i) {
+                acc.grid().tile(0).setBit(
+                    static_cast<RowAddr>(kWBase + 4 * i),
+                    static_cast<ColAddr>(n), layer_.weights[n][i]);
+                acc.grid().tile(0).setBit(
+                    static_cast<RowAddr>(kXBase + 4 * i),
+                    static_cast<ColAddr>(n), input_[i]);
+            }
+            for (unsigned b = 0; b < 5; ++b) {
+                acc.grid().tile(0).setBit(
+                    static_cast<RowAddr>(kThreshBase + 2 * b),
+                    static_cast<ColAddr>(n),
+                    static_cast<Bit>(
+                        (layer_.thresholds[n] >> b) & 1));
+            }
+        }
+    }
+
+    void
+    check(Accelerator &acc)
+    {
+        for (unsigned n = 0; n < kNeurons; ++n) {
+            // Software reference.
+            std::int32_t pop = 0;
+            for (unsigned i = 0; i < kInputs; ++i) {
+                pop += layer_.weights[n][i] == input_[i];
+            }
+            // Array popcount word.
+            std::int32_t hw_pop = 0;
+            for (std::size_t b = 0; b < count_.size(); ++b) {
+                hw_pop |= static_cast<std::int32_t>(acc.grid()
+                                                        .tile(0)
+                                                        .bit(count_[b].row,
+                                                             static_cast<ColAddr>(n)))
+                          << b;
+            }
+            EXPECT_EQ(hw_pop, pop) << "neuron " << n;
+            const Bit fires =
+                acc.grid().tile(0).bit(fires_.row,
+                                       static_cast<ColAddr>(n));
+            EXPECT_EQ(fires,
+                      static_cast<Bit>(pop >= layer_.thresholds[n]))
+                << "neuron " << n << " pop " << pop << " thresh "
+                << layer_.thresholds[n];
+        }
+    }
+
+    MouseConfig cfg_;
+    Word count_;
+    Val fires_{};
+    BnnLayer layer_;
+    std::vector<Bit> input_;
+};
+
+TEST_F(BnnOnArray, MatchesSoftwareContinuous)
+{
+    Rng rng(404);
+    for (int trial = 0; trial < 5; ++trial) {
+        Accelerator acc(cfg_);
+        const Program prog = buildProgram(acc);
+        acc.loadProgram(prog);
+        seed(acc, rng);
+        acc.runContinuous();
+        check(acc);
+    }
+}
+
+TEST_F(BnnOnArray, MatchesSoftwareUnderHarvesting)
+{
+    Rng rng(808);
+    Accelerator acc(cfg_);
+    const Program prog = buildProgram(acc);
+    acc.loadProgram(prog);
+    seed(acc, rng);
+    HarvestConfig harvest;
+    harvest.sourcePower = 1e-6;
+    harvest.capacitanceOverride = 1e-9;  // force outages
+    const RunStats stats = acc.runHarvested(harvest);
+    EXPECT_GT(stats.outages, 0u);
+    check(acc);
+}
+
+TEST_F(BnnOnArray, ThresholdEdgeCases)
+{
+    // threshold = 0 always fires; threshold = k+1 never does.
+    Accelerator acc(cfg_);
+    const Program prog = buildProgram(acc);
+    acc.loadProgram(prog);
+    Rng rng(9);
+    seed(acc, rng);
+    // Override thresholds: columns 0 -> 0, 1 -> kInputs + 1.
+    for (unsigned b = 0; b < 5; ++b) {
+        acc.grid().tile(0).setBit(
+            static_cast<RowAddr>(kThreshBase + 2 * b), 0, 0);
+        acc.grid().tile(0).setBit(
+            static_cast<RowAddr>(kThreshBase + 2 * b), 1,
+            static_cast<Bit>(((kInputs + 1) >> b) & 1));
+    }
+    acc.runContinuous();
+    EXPECT_EQ(acc.grid().tile(0).bit(fires_.row, 0), 1);
+    EXPECT_EQ(acc.grid().tile(0).bit(fires_.row, 1), 0);
+}
+
+} // namespace
+} // namespace mouse

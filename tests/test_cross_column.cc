@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for cross-column transport (the barrel-shifted row write)
+ * and the fully-on-array reductions it enables — culminating in a
+ * complete binary SVM decision computed end to end in the array:
+ * per-column squared dots, per-column coefficient multiplies, and a
+ * cross-column tree sum, bit-exact against software.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/accelerator.hh"
+#include "ml/mapping.hh"
+
+namespace mouse
+{
+namespace
+{
+
+TEST(WriteRowShifted, IsaRoundTrip)
+{
+    const Instruction inst = Instruction::writeRowShifted(5, 700, 3);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_EQ(back.colLo, 3);
+    EXPECT_EQ(back.disassemble(), "WRITES t5 r700 <<c3");
+}
+
+TEST(WriteRowShifted, RotatesBufferContents)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    ArrayConfig cfg;
+    cfg.tileRows = 16;
+    cfg.tileCols = 8;
+    cfg.numDataTiles = 1;
+    TileGrid grid(cfg, lib);
+    // Seed row 0 with a pattern, read it, write shifted by 2.
+    for (ColAddr c = 0; c < 8; ++c) {
+        grid.tile(0).setBit(0, c, c == 1 || c == 6);
+    }
+    grid.execute(Instruction::readRow(0, 0));
+    grid.execute(Instruction::writeRowShifted(0, 2, 2));
+    // Destination column c holds source column (c + 2) mod 8.
+    for (ColAddr c = 0; c < 8; ++c) {
+        const ColAddr src = static_cast<ColAddr>((c + 2) % 8);
+        EXPECT_EQ(grid.tile(0).bit(2, c),
+                  grid.tile(0).bit(0, src))
+            << "col " << c;
+    }
+}
+
+class CrossColumn : public ::testing::Test
+{
+  protected:
+    MouseConfig
+    config()
+    {
+        MouseConfig cfg;
+        cfg.tech = TechConfig::ProjectedStt;
+        cfg.array.tileRows = 512;
+        cfg.array.tileCols = 8;
+        cfg.array.numDataTiles = 1;
+        cfg.array.numInstructionTiles = 8192;
+        return cfg;
+    }
+};
+
+TEST_F(CrossColumn, TreeSumAcrossColumns)
+{
+    const MouseConfig cfg = config();
+    Accelerator acc(cfg);
+    KernelBuilder kb(acc.gateLibrary(), cfg.array, 0, 20);
+    kb.activate(0, 7);
+    Word value = kb.pinnedWord(0, 8);
+    const Word total = kb.crossColumnSum(value, 8);
+    acc.loadProgram(kb.finish());
+
+    Rng rng(12);
+    std::uint64_t expect = 0;
+    for (ColAddr c = 0; c < 8; ++c) {
+        const std::uint64_t v = rng.below(256);
+        expect += v;
+        for (unsigned i = 0; i < 8; ++i) {
+            acc.grid().tile(0).setBit(static_cast<RowAddr>(2 * i), c,
+                                      (v >> i) & 1);
+        }
+    }
+    acc.runContinuous();
+
+    std::uint64_t got = 0;
+    for (std::size_t i = 0; i < total.size(); ++i) {
+        got |= static_cast<std::uint64_t>(
+                   acc.grid().tile(0).bit(total[i].row, 0))
+               << i;
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST_F(CrossColumn, SignedTreeSum)
+{
+    const MouseConfig cfg = config();
+    Accelerator acc(cfg);
+    KernelBuilder kb(acc.gateLibrary(), cfg.array, 0, 20);
+    kb.activate(0, 7);
+    Word value = kb.pinnedWord(0, 6);
+    const Word total = kb.crossColumnSum(value, 8, /*signed=*/true);
+    acc.loadProgram(kb.finish());
+
+    const int vals[8] = {-31, 17, -2, 0, 25, -30, 9, -11};
+    std::int64_t expect = 0;
+    for (ColAddr c = 0; c < 8; ++c) {
+        expect += vals[c];
+        for (unsigned i = 0; i < 6; ++i) {
+            acc.grid().tile(0).setBit(
+                static_cast<RowAddr>(2 * i), c,
+                (static_cast<std::uint64_t>(vals[c]) >> i) & 1);
+        }
+    }
+    acc.runContinuous();
+
+    std::int64_t got = 0;
+    for (std::size_t i = 0; i < total.size(); ++i) {
+        got |= static_cast<std::int64_t>(
+                   acc.grid().tile(0).bit(total[i].row, 0))
+               << i;
+    }
+    if ((got >> (total.size() - 1)) & 1) {
+        got -= 1ll << total.size();
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST_F(CrossColumn, FullBinarySvmDecisionOnArray)
+{
+    // The capstone: score = sum_i alpha_i * (sv_i . x)^2, computed
+    // entirely in the array — kernels per column, coefficient
+    // multiply per column, cross-column tree sum — and compared
+    // bit-exactly against software.
+    constexpr unsigned kDim = 4;
+    constexpr unsigned kInputBits = 3;
+    constexpr unsigned kAccBits = 10;
+    constexpr unsigned kCoefBits = 4;
+    constexpr unsigned kCols = 8;
+    const RowAddr sv_base = 0;
+    const RowAddr x_base = kDim * 2 * kInputBits;
+    const RowAddr coef_base = 2 * kDim * 2 * kInputBits;
+    const unsigned first_free = coef_base + 2 * kCoefBits + 4;
+
+    const MouseConfig cfg = config();
+    Accelerator acc(cfg);
+    KernelBuilder kb(acc.gateLibrary(), cfg.array, 0, first_free);
+    kb.activate(0, kCols - 1);
+    Word square;
+    buildSmallSvmKernel(kb, sv_base, x_base, kDim, kInputBits,
+                        kAccBits, square);
+    const Word alpha = kb.pinnedWord(coef_base, kCoefBits);
+    Word term = kb.mulSigned(square, alpha);
+    const Word score =
+        kb.crossColumnSum(std::move(term), kCols, /*signed=*/true);
+    acc.loadProgram(kb.finish());
+
+    Rng rng(2468);
+    Features x(kDim);
+    for (auto &v : x) {
+        v = static_cast<std::uint8_t>(rng.below(8));
+    }
+    std::vector<Features> svs(kCols, Features(kDim));
+    std::vector<int> alphas(kCols);
+    __int128 expect = 0;
+    for (ColAddr c = 0; c < kCols; ++c) {
+        for (unsigned e = 0; e < kDim; ++e) {
+            svs[c][e] = static_cast<std::uint8_t>(rng.below(8));
+            for (unsigned b = 0; b < kInputBits; ++b) {
+                acc.grid().tile(0).setBit(
+                    static_cast<RowAddr>(sv_base +
+                                         e * 2 * kInputBits + 2 * b),
+                    c, (svs[c][e] >> b) & 1);
+                acc.grid().tile(0).setBit(
+                    static_cast<RowAddr>(x_base +
+                                         e * 2 * kInputBits + 2 * b),
+                    c, (x[e] >> b) & 1);
+            }
+        }
+        alphas[c] = static_cast<int>(rng.between(-8, 7));
+        for (unsigned b = 0; b < kCoefBits; ++b) {
+            acc.grid().tile(0).setBit(
+                static_cast<RowAddr>(coef_base + 2 * b), c,
+                (static_cast<std::uint64_t>(alphas[c]) >> b) & 1);
+        }
+        const std::int64_t d = dot(svs[c], x);
+        expect += static_cast<__int128>(alphas[c]) * d * d;
+    }
+
+    const RunStats stats = acc.runContinuous();
+    EXPECT_GT(stats.instructionsCommitted, 1000u);
+
+    std::int64_t got = 0;
+    for (std::size_t i = 0; i < score.size(); ++i) {
+        got |= static_cast<std::int64_t>(
+                   acc.grid().tile(0).bit(score[i].row, 0))
+               << i;
+    }
+    if ((got >> (score.size() - 1)) & 1) {
+        got -= 1ll << score.size();
+    }
+    EXPECT_EQ(got, static_cast<std::int64_t>(expect));
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the MTJ device model and the resistive-network solver:
+ * the physics layer the paper's idempotency argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/mtj.hh"
+#include "device/mtj_params.hh"
+#include "device/network.hh"
+
+namespace mouse
+{
+namespace
+{
+
+class MtjSwitching : public ::testing::TestWithParam<MtjParams>
+{
+};
+
+TEST_P(MtjSwitching, SubCriticalCurrentNeverSwitches)
+{
+    const MtjParams p = GetParam();
+    Mtj mtj(MtjState::P);
+    EXPECT_FALSE(mtj.applyPulse(p.switchingCurrent * 0.99,
+                                p.switchingTime * 100, p));
+    EXPECT_EQ(mtj.state(), MtjState::P);
+    mtj.set(MtjState::AP);
+    EXPECT_FALSE(mtj.applyPulse(-p.switchingCurrent * 0.99,
+                                p.switchingTime * 100, p));
+    EXPECT_EQ(mtj.state(), MtjState::AP);
+}
+
+TEST_P(MtjSwitching, CriticalPulseSwitchesTowardCurrentDirection)
+{
+    const MtjParams p = GetParam();
+    Mtj mtj(MtjState::P);
+    EXPECT_TRUE(
+        mtj.applyPulse(p.switchingCurrent, p.switchingTime, p));
+    EXPECT_EQ(mtj.state(), MtjState::AP);
+    EXPECT_TRUE(
+        mtj.applyPulse(-p.switchingCurrent, p.switchingTime, p));
+    EXPECT_EQ(mtj.state(), MtjState::P);
+}
+
+TEST_P(MtjSwitching, DirectionalityMakesPulsesIdempotent)
+{
+    // The paper's core physical claim (Table I): re-applying the same
+    // pulse cannot undo the switch it caused.
+    const MtjParams p = GetParam();
+    Mtj mtj(MtjState::P);
+    mtj.applyPulse(p.switchingCurrent * 2, p.switchingTime, p);
+    ASSERT_EQ(mtj.state(), MtjState::AP);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(
+            mtj.applyPulse(p.switchingCurrent * 2, p.switchingTime, p));
+        EXPECT_EQ(mtj.state(), MtjState::AP);
+    }
+}
+
+TEST_P(MtjSwitching, InterruptedPulseLeavesStateUnchanged)
+{
+    const MtjParams p = GetParam();
+    Mtj mtj(MtjState::P);
+    EXPECT_FALSE(
+        mtj.applyPulse(p.switchingCurrent * 2, p.switchingTime * 0.99, p));
+    EXPECT_EQ(mtj.state(), MtjState::P);
+    // Re-performing the full pulse then completes the switch.
+    EXPECT_TRUE(
+        mtj.applyPulse(p.switchingCurrent * 2, p.switchingTime, p));
+    EXPECT_EQ(mtj.state(), MtjState::AP);
+}
+
+TEST_P(MtjSwitching, ResistanceTracksState)
+{
+    const MtjParams p = GetParam();
+    Mtj mtj(MtjState::P);
+    EXPECT_DOUBLE_EQ(mtj.resistance(p), p.rParallel);
+    mtj.set(MtjState::AP);
+    EXPECT_DOUBLE_EQ(mtj.resistance(p), p.rAntiParallel);
+    EXPECT_GT(p.rAntiParallel, p.rParallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, MtjSwitching,
+                         ::testing::Values(modernMtj(), projectedMtj()),
+                         [](const auto &info) {
+                             return info.index == 0 ? "Modern"
+                                                    : "Projected";
+                         });
+
+TEST(MtjParams, TableIIValues)
+{
+    const MtjParams modern = modernMtj();
+    EXPECT_DOUBLE_EQ(modern.rParallel, 3.15e3);
+    EXPECT_DOUBLE_EQ(modern.rAntiParallel, 7.34e3);
+    EXPECT_DOUBLE_EQ(modern.switchingTime, 3e-9);
+    EXPECT_DOUBLE_EQ(modern.switchingCurrent, 40e-6);
+
+    const MtjParams projected = projectedMtj();
+    EXPECT_DOUBLE_EQ(projected.rParallel, 7.34e3);
+    EXPECT_DOUBLE_EQ(projected.rAntiParallel, 76.39e3);
+    EXPECT_DOUBLE_EQ(projected.switchingTime, 1e-9);
+    EXPECT_DOUBLE_EQ(projected.switchingCurrent, 3e-6);
+    EXPECT_GT(projected.tmr(), modern.tmr());
+}
+
+TEST(DeviceConfig, PresetsMatchPaper)
+{
+    const DeviceConfig modern = makeDeviceConfig(TechConfig::ModernStt);
+    EXPECT_NEAR(modern.frequency(), 30.3e6, 0.1e6);
+    EXPECT_EQ(modern.cell, CellKind::Stt1T1M);
+    EXPECT_DOUBLE_EQ(modern.capVoltageLow, 0.320);
+    EXPECT_DOUBLE_EQ(modern.capVoltageHigh, 0.340);
+    EXPECT_DOUBLE_EQ(modern.bufferCapacitance, 100e-6);
+
+    const DeviceConfig proj = makeDeviceConfig(TechConfig::ProjectedStt);
+    EXPECT_NEAR(proj.frequency(), 90.9e6, 0.1e6);
+    EXPECT_DOUBLE_EQ(proj.bufferCapacitance, 10e-6);
+
+    const DeviceConfig she = makeDeviceConfig(TechConfig::ProjectedShe);
+    EXPECT_EQ(she.cell, CellKind::She2T1M);
+    EXPECT_EQ(she.mtj.rParallel, proj.mtj.rParallel);
+}
+
+TEST(Network, ParallelResistanceBasics)
+{
+    EXPECT_DOUBLE_EQ(parallelResistance({100.0}), 100.0);
+    EXPECT_DOUBLE_EQ(parallelResistance({100.0, 100.0}), 50.0);
+    EXPECT_NEAR(parallelResistance({100.0, 200.0}), 200.0 / 3.0, 1e-9);
+    // Parallel combination is below the smallest branch.
+    EXPECT_LT(parallelResistance({50.0, 1e9}), 50.0);
+}
+
+TEST(Network, InputBranchesOrderedByState)
+{
+    for (auto tech : {TechConfig::ModernStt, TechConfig::ProjectedStt,
+                      TechConfig::ProjectedShe}) {
+        const DeviceConfig cfg = makeDeviceConfig(tech);
+        EXPECT_LT(inputBranchResistance(cfg, MtjState::P),
+                  inputBranchResistance(cfg, MtjState::AP));
+    }
+}
+
+TEST(Network, SheWritePathBypassesMtj)
+{
+    const DeviceConfig she = makeDeviceConfig(TechConfig::ProjectedShe);
+    // Write path resistance is MTJ-state independent and small.
+    EXPECT_DOUBLE_EQ(writePathResistance(she, MtjState::P),
+                     writePathResistance(she, MtjState::AP));
+    EXPECT_DOUBLE_EQ(writePathResistance(she, MtjState::P),
+                     she.sheChannelR + she.accessTransistorR);
+
+    const DeviceConfig stt = makeDeviceConfig(TechConfig::ProjectedStt);
+    EXPECT_GT(writePathResistance(stt, MtjState::AP),
+              writePathResistance(she, MtjState::AP));
+}
+
+TEST(Network, SheOutputBranchStateIndependent)
+{
+    const DeviceConfig she = makeDeviceConfig(TechConfig::ProjectedShe);
+    EXPECT_DOUBLE_EQ(outputBranchResistance(she, MtjState::P),
+                     outputBranchResistance(she, MtjState::AP));
+
+    const DeviceConfig stt = makeDeviceConfig(TechConfig::ProjectedStt);
+    EXPECT_LT(outputBranchResistance(stt, MtjState::P),
+              outputBranchResistance(stt, MtjState::AP));
+}
+
+TEST(Network, MoreLowResistanceInputsMeansMoreCurrent)
+{
+    const DeviceConfig cfg = makeDeviceConfig(TechConfig::ModernStt);
+    const Volts v = 0.3;
+    const Amperes i_pp = gateOutputCurrent(
+        cfg, v, {MtjState::P, MtjState::P}, MtjState::P);
+    const Amperes i_pa = gateOutputCurrent(
+        cfg, v, {MtjState::P, MtjState::AP}, MtjState::P);
+    const Amperes i_aa = gateOutputCurrent(
+        cfg, v, {MtjState::AP, MtjState::AP}, MtjState::P);
+    EXPECT_GT(i_pp, i_pa);
+    EXPECT_GT(i_pa, i_aa);
+}
+
+TEST(Network, LoopResistanceMatchesHandComputation)
+{
+    const DeviceConfig cfg = makeDeviceConfig(TechConfig::ModernStt);
+    // Two P inputs (3.15k + 1k each, in parallel) + P output (4.15k).
+    const Ohms expected = (3.15e3 + 1e3) / 2.0 + 3.15e3 + 1e3;
+    EXPECT_NEAR(gateLoopResistance(cfg, {MtjState::P, MtjState::P},
+                                   MtjState::P),
+                expected, 1e-6);
+}
+
+} // namespace
+} // namespace mouse

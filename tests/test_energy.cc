@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the energy model (NVSim-calibrated peripheral shares,
+ * backup/restore pricing) and the Table III area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+
+namespace mouse
+{
+namespace
+{
+
+class EnergyModelTech : public ::testing::TestWithParam<TechConfig>
+{
+  protected:
+    EnergyModelTech()
+        : lib_(makeDeviceConfig(GetParam())), energy_(lib_)
+    {
+    }
+
+    GateLibrary lib_;
+    EnergyModel energy_;
+};
+
+TEST_P(EnergyModelTech, PeripheralShareCalibration)
+{
+    // On the calibration anchor (1024-column write through the
+    // generation's STT path), peripherals must consume exactly the
+    // configured share of total energy.
+    const DeviceConfig &cfg = lib_.config();
+    const Amperes iw =
+        GateLibrary::kWriteOverdrive * cfg.mtj.switchingCurrent;
+    const Joules anchor_cell =
+        iw * iw * (cfg.mtj.rAntiParallel + cfg.accessTransistorR) *
+        cfg.mtj.switchingTime;
+    const Joules device = anchor_cell * 1024;
+    const Joules periph = energy_.peripheralEnergy(1024);
+    EXPECT_NEAR(periph / (periph + device), 0.57, 1e-9);
+}
+
+TEST(EnergyModelCross, ShePeripheralsEqualProjectedStt)
+{
+    // The SHE design shares peripheral CMOS with STT (the paper:
+    // "SHE has no advantage over STT for an individual restart").
+    const GateLibrary stt(makeDeviceConfig(TechConfig::ProjectedStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    const EnergyModel e_stt(stt);
+    const EnergyModel e_she(she);
+    EXPECT_DOUBLE_EQ(e_stt.peripheralEnergy(256),
+                     e_she.peripheralEnergy(256));
+    // Near: the ACT shadow-register *read* goes through the cell's
+    // own sense path, which differs slightly between the designs.
+    EXPECT_NEAR(e_stt.restoreEnergy(1, 128),
+                e_she.restoreEnergy(1, 128),
+                0.01 * e_stt.restoreEnergy(1, 128));
+}
+
+TEST_P(EnergyModelTech, PeripheralEnergyGrowsWithColumns)
+{
+    EXPECT_LT(energy_.peripheralEnergy(1),
+              energy_.peripheralEnergy(64));
+    EXPECT_LT(energy_.peripheralEnergy(64),
+              energy_.peripheralEnergy(1024));
+    // But there is a fixed floor (decode + wordline select).
+    EXPECT_GT(energy_.peripheralEnergy(0), 0.0);
+}
+
+TEST_P(EnergyModelTech, BackupIsFarCheaperThanWideInstructions)
+{
+    // Section IX: backup writes a few register bits per cycle and
+    // must remain a small fraction of a many-column instruction.
+    const Joules instr =
+        energy_.estimateInstructionEnergy(Opcode::kGateNand2, 1024);
+    EXPECT_LT(energy_.backupEnergyPerCycle(), instr * 0.15);
+}
+
+TEST_P(EnergyModelTech, RestoreScalesWithJournalAndColumns)
+{
+    EXPECT_LT(energy_.restoreEnergy(1, 4),
+              energy_.restoreEnergy(3, 4));
+    EXPECT_LT(energy_.restoreEnergy(1, 4),
+              energy_.restoreEnergy(1, 1024));
+    EXPECT_EQ(energy_.restoreCycles(3), 3u);
+}
+
+TEST_P(EnergyModelTech, EstimateCoversAllOpcodes)
+{
+    for (int op = 0;
+         op < static_cast<int>(Opcode::kNumOpcodes); ++op) {
+        const Joules e = energy_.estimateInstructionEnergy(
+            static_cast<Opcode>(op), 16);
+        if (static_cast<Opcode>(op) == Opcode::kHalt) {
+            EXPECT_EQ(e, 0.0);
+        } else {
+            EXPECT_GT(e, 0.0) << "opcode " << op;
+        }
+    }
+}
+
+TEST_P(EnergyModelTech, FetchChargesSixtyFourBits)
+{
+    EXPECT_GT(energy_.fetchEnergy(),
+              lib_.readOp().energy * 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechs, EnergyModelTech,
+                         ::testing::Values(TechConfig::ModernStt,
+                                           TechConfig::ProjectedStt,
+                                           TechConfig::ProjectedShe));
+
+TEST(EnergyOrdering, TechnologiesRankAsInThePaper)
+{
+    const GateLibrary modern(makeDeviceConfig(TechConfig::ModernStt));
+    const GateLibrary proj(makeDeviceConfig(TechConfig::ProjectedStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    const EnergyModel em(modern);
+    const EnergyModel ep(proj);
+    const EnergyModel es(she);
+    const Joules e_m =
+        em.estimateInstructionEnergy(Opcode::kGateNand2, 1024);
+    const Joules e_p =
+        ep.estimateInstructionEnergy(Opcode::kGateNand2, 1024);
+    const Joules e_s =
+        es.estimateInstructionEnergy(Opcode::kGateNand2, 1024);
+    EXPECT_GT(e_m, e_p);
+    EXPECT_GT(e_p, e_s);
+}
+
+TEST(AreaModel, RoundUpPow2)
+{
+    EXPECT_EQ(roundUpPow2Mb(0.3), 1.0);
+    EXPECT_EQ(roundUpPow2Mb(1.0), 1.0);
+    EXPECT_EQ(roundUpPow2Mb(1.1), 2.0);
+    EXPECT_EQ(roundUpPow2Mb(34.5), 64.0);
+    EXPECT_EQ(roundUpPow2Mb(8.0), 8.0);
+}
+
+TEST(AreaModel, ReproducesTableThree)
+{
+    // Table III: benchmark footprints vs the paper's mm^2 values.
+    const struct
+    {
+        double mb;
+        double modern;
+        double projected;
+        double she;
+    } rows[] = {
+        {64.0, 50.98, 38.67, 77.35},
+        {8.0, 5.43, 4.13, 8.24},
+        {16.0, 10.86, 8.24, 16.48},
+        {1.0, 0.71, 0.53, 1.06},
+    };
+    // Tolerance 2.5 %: Table III prints two decimals, so the small
+    // (1 MB) row carries ~1.6 % rounding in the technology ratios.
+    for (const auto &row : rows) {
+        EXPECT_NEAR(mouseArea(TechConfig::ModernStt, row.mb),
+                    row.modern, 0.025 * row.modern)
+            << row.mb << " MB";
+        EXPECT_NEAR(mouseArea(TechConfig::ProjectedStt, row.mb),
+                    row.projected, 0.025 * row.projected);
+        EXPECT_NEAR(mouseArea(TechConfig::ProjectedShe, row.mb),
+                    row.she, 0.025 * row.she);
+    }
+}
+
+TEST(AreaModel, SheCostsRoughlyTwiceProjectedStt)
+{
+    // Section VIII: the second access transistor doubles cell area.
+    for (double mb : {1.0, 8.0, 64.0}) {
+        const double ratio =
+            mouseArea(TechConfig::ProjectedShe, mb) /
+            mouseArea(TechConfig::ProjectedStt, mb);
+        EXPECT_NEAR(ratio, 2.0, 0.05);
+    }
+}
+
+TEST(AreaModel, FootprintHelperRoundsUp)
+{
+    EXPECT_DOUBLE_EQ(
+        mouseAreaForFootprint(TechConfig::ModernStt, 34.5),
+        mouseArea(TechConfig::ModernStt, 64.0));
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property fuzzing: randomly generated gate programs executed under
+ * continuous power and under harvesting with randomly placed outages
+ * must leave identical array contents.  This is the repository's
+ * broadest statement of the paper's correctness guarantee — it
+ * quantifies over programs, not just hand-written kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/accelerator.hh"
+
+namespace mouse
+{
+namespace
+{
+
+MouseConfig
+fuzzConfig()
+{
+    MouseConfig cfg;
+    cfg.tech = TechConfig::ProjectedStt;
+    cfg.array.tileRows = 96;
+    cfg.array.tileCols = 8;
+    cfg.array.numDataTiles = 2;
+    cfg.array.numInstructionTiles = 256;
+    return cfg;
+}
+
+/**
+ * Generate a random but *well-formed* program: every gate output is
+ * preset first, parities respected, occasional re-activation and
+ * cross-tile row transfers.
+ */
+Program
+randomProgram(const GateLibrary &lib, Rng &rng, unsigned length)
+{
+    const std::vector<GateType> usable = [&] {
+        std::vector<GateType> v;
+        for (GateType g : lib.feasibleGates()) {
+            switch (g) {
+              case GateType::kBuf:
+              case GateType::kNot:
+              case GateType::kAnd2:
+              case GateType::kNand2:
+              case GateType::kOr2:
+              case GateType::kNor2:
+              case GateType::kMaj3:
+              case GateType::kMin3:
+                v.push_back(g);
+                break;
+              default:
+                break;  // not ISA-encodable
+            }
+        }
+        return v;
+    }();
+
+    Program prog;
+    prog.instructions.push_back(Instruction::activateRange(
+        0, static_cast<ColAddr>(rng.between(1, 7))));
+    for (unsigned i = 0; i < length; ++i) {
+        const auto tile = static_cast<TileAddr>(rng.below(2));
+        switch (rng.below(10)) {
+          case 0:
+            prog.instructions.push_back(Instruction::activateRange(
+                static_cast<ColAddr>(rng.below(4)),
+                static_cast<ColAddr>(4 + rng.below(4))));
+            break;
+          case 1: {
+            // Row transfer between tiles, sometimes with a barrel
+            // shift (cross-column transport).
+            prog.instructions.push_back(Instruction::readRow(
+                tile, static_cast<RowAddr>(rng.below(96))));
+            if (rng.chance(0.5)) {
+                prog.instructions.push_back(
+                    Instruction::writeRowShifted(
+                        static_cast<TileAddr>(1 - tile),
+                        static_cast<RowAddr>(rng.below(96)),
+                        static_cast<ColAddr>(rng.below(8))));
+            } else {
+                prog.instructions.push_back(Instruction::writeRow(
+                    static_cast<TileAddr>(1 - tile),
+                    static_cast<RowAddr>(rng.below(96))));
+            }
+            break;
+          }
+          default: {
+            const GateType g = usable[rng.below(usable.size())];
+            const int n = gateNumInputs(g);
+            // Inputs on one parity, output on the other.
+            const unsigned in_parity = rng.below(2);
+            auto row_of = [&](unsigned parity) {
+                return static_cast<RowAddr>(
+                    2 * rng.below(48) + parity);
+            };
+            const RowAddr out = row_of(1 - in_parity);
+            prog.instructions.push_back(
+                Instruction::preset(gatePreset(g), tile, out));
+            switch (n) {
+              case 1:
+                prog.instructions.push_back(Instruction::gate(
+                    g, tile, row_of(in_parity), out));
+                break;
+              case 2:
+                prog.instructions.push_back(Instruction::gate(
+                    g, tile, row_of(in_parity), row_of(in_parity),
+                    out));
+                break;
+              default:
+                prog.instructions.push_back(Instruction::gate(
+                    g, tile, row_of(in_parity), row_of(in_parity),
+                    row_of(in_parity), out));
+                break;
+            }
+            break;
+          }
+        }
+    }
+    prog.instructions.push_back(Instruction::halt());
+    return prog;
+}
+
+void
+randomizeTiles(Accelerator &acc, Rng &rng)
+{
+    for (TileAddr t = 0; t < 2; ++t) {
+        for (RowAddr r = 0; r < 96; ++r) {
+            for (ColAddr c = 0; c < 8; ++c) {
+                acc.grid().tile(t).setBit(
+                    r, c, static_cast<Bit>(rng.below(2)));
+            }
+        }
+    }
+}
+
+TEST(Fuzz, HarvestedEqualsContinuousOverRandomPrograms)
+{
+    const MouseConfig cfg = fuzzConfig();
+    for (std::uint64_t trial = 0; trial < 25; ++trial) {
+        Rng rng(9000 + trial);
+        Accelerator cont(cfg);
+        const Program prog = randomProgram(
+            cont.gateLibrary(), rng,
+            static_cast<unsigned>(20 + rng.below(60)));
+
+        Rng data_rng(500 + trial);
+        cont.loadProgram(prog);
+        randomizeTiles(cont, data_rng);
+        cont.runContinuous();
+
+        Accelerator harv(cfg);
+        Rng data_rng2(500 + trial);
+        harv.loadProgram(prog);
+        randomizeTiles(harv, data_rng2);
+        HarvestConfig harvest;
+        harvest.sourcePower = 10e-6;
+        harvest.capacitanceOverride = 2e-9;  // frequent outages
+        harvest.seed = 777 + trial;
+        const RunStats stats = harv.runHarvested(harvest);
+
+        ASSERT_EQ(cont.grid().tile(0).snapshot(),
+                  harv.grid().tile(0).snapshot())
+            << "trial " << trial << " (outages " << stats.outages
+            << ")";
+        ASSERT_EQ(cont.grid().tile(1).snapshot(),
+                  harv.grid().tile(1).snapshot())
+            << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, ReplayingAnyPrefixTwiceIsIdempotent)
+{
+    // Stronger than single-instruction idempotency: stop after k
+    // instructions, re-execute instruction k many times, continue —
+    // the final state must match the straight run.  (This is what
+    // the PC protocol's at-most-one-repeat guarantees reduce to.)
+    const MouseConfig cfg = fuzzConfig();
+    for (std::uint64_t trial = 0; trial < 10; ++trial) {
+        Rng rng(4242 + trial);
+        Accelerator straight(cfg);
+        const Program prog =
+            randomProgram(straight.gateLibrary(), rng, 30);
+
+        Rng data_rng(100 + trial);
+        straight.loadProgram(prog);
+        randomizeTiles(straight, data_rng);
+        straight.runContinuous();
+
+        Accelerator replayed(cfg);
+        Rng data_rng2(100 + trial);
+        replayed.loadProgram(prog);
+        randomizeTiles(replayed, data_rng2);
+        Rng replay_rng(55 + trial);
+        while (!replayed.controller().halted()) {
+            if (replay_rng.chance(0.3)) {
+                // Force a worst-case commit failure: the instruction
+                // fully executes but the PC never advances, then the
+                // controller restarts and repeats it.
+                replayed.controller().stepInterrupted(
+                    MicroStep::kCommit, 1.0);
+                replayed.controller().powerLoss();
+                replayed.controller().restart();
+            } else {
+                replayed.controller().step();
+            }
+        }
+        ASSERT_EQ(straight.grid().tile(0).snapshot(),
+                  replayed.grid().tile(0).snapshot())
+            << "trial " << trial;
+        ASSERT_EQ(straight.grid().tile(1).snapshot(),
+                  replayed.grid().tile(1).snapshot())
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the CRAM gate layer: truth tables, operating-point
+ * solving, physical evaluation, and the energy ordering between
+ * technologies that drives the paper's headline results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/network.hh"
+#include "logic/gate.hh"
+#include "logic/gate_library.hh"
+#include "logic/gate_solver.hh"
+
+namespace mouse
+{
+namespace
+{
+
+std::vector<GateType>
+allGates()
+{
+    std::vector<GateType> gates;
+    for (int i = 0; i < kNumGateTypes; ++i) {
+        gates.push_back(static_cast<GateType>(i));
+    }
+    return gates;
+}
+
+TEST(GateTruth, TwoInputTables)
+{
+    // inputs packed LSB-first: combo = a | (b << 1)
+    const Bit and_expect[4] = {0, 0, 0, 1};
+    const Bit or_expect[4] = {0, 1, 1, 1};
+    for (unsigned c = 0; c < 4; ++c) {
+        EXPECT_EQ(gateTruth(GateType::kAnd2, c), and_expect[c]);
+        EXPECT_EQ(gateTruth(GateType::kNand2, c),
+                  static_cast<Bit>(!and_expect[c]));
+        EXPECT_EQ(gateTruth(GateType::kOr2, c), or_expect[c]);
+        EXPECT_EQ(gateTruth(GateType::kNor2, c),
+                  static_cast<Bit>(!or_expect[c]));
+    }
+}
+
+TEST(GateTruth, MajorityAndComplements)
+{
+    for (unsigned c = 0; c < 8; ++c) {
+        const int ones = static_cast<int>((c & 1) + ((c >> 1) & 1) +
+                                          ((c >> 2) & 1));
+        EXPECT_EQ(gateTruth(GateType::kMaj3, c), ones >= 2 ? 1 : 0);
+        EXPECT_EQ(gateTruth(GateType::kMin3, c), ones >= 2 ? 0 : 1);
+        EXPECT_EQ(gateTruth(GateType::kAnd3, c), ones == 3 ? 1 : 0);
+        EXPECT_EQ(gateTruth(GateType::kNor3, c), ones == 0 ? 1 : 0);
+    }
+}
+
+TEST(GateTruth, UnaryGates)
+{
+    EXPECT_EQ(gateTruth(GateType::kBuf, 0), 0);
+    EXPECT_EQ(gateTruth(GateType::kBuf, 1), 1);
+    EXPECT_EQ(gateTruth(GateType::kNot, 0), 1);
+    EXPECT_EQ(gateTruth(GateType::kNot, 1), 0);
+}
+
+TEST(GateTruth, PresetIsTheNoSwitchValue)
+{
+    // By construction every CRAM gate's truth table must equal its
+    // preset on at least one combo (hold) and differ on at least one
+    // (switch); otherwise it would not be a threshold gate.
+    for (GateType g : allGates()) {
+        const int n = gateNumInputs(g);
+        bool any_hold = false;
+        bool any_switch = false;
+        for (unsigned c = 0; c < (1u << n); ++c) {
+            if (gateShouldSwitch(g, c)) {
+                any_switch = true;
+            } else {
+                any_hold = true;
+            }
+        }
+        EXPECT_TRUE(any_switch) << gateName(g);
+        EXPECT_TRUE(any_hold) << gateName(g);
+    }
+}
+
+class GateSolverTech : public ::testing::TestWithParam<TechConfig>
+{
+  protected:
+    DeviceConfig cfg_ = makeDeviceConfig(GetParam());
+};
+
+TEST_P(GateSolverTech, UniversalGatesAreFeasible)
+{
+    for (GateType g : {GateType::kNand2, GateType::kNot, GateType::kBuf,
+                       GateType::kAnd2}) {
+        const SolvedGate s = solveGate(cfg_, g);
+        EXPECT_TRUE(s.feasible) << gateName(g);
+        EXPECT_GT(s.voltage, 0.0);
+        EXPECT_LT(s.vMin, s.vMax);
+    }
+}
+
+TEST_P(GateSolverTech, PhysicalEvaluationMatchesTruthWhenFeasible)
+{
+    for (GateType g : allGates()) {
+        const SolvedGate s = solveGate(cfg_, g);
+        if (!s.feasible) {
+            continue;
+        }
+        const int n = gateNumInputs(g);
+        for (unsigned c = 0; c < (1u << n); ++c) {
+            EXPECT_EQ(gatePhysicalOutput(cfg_, g, s.voltage, c),
+                      gateTruth(g, c))
+                << gateName(g) << " combo " << c << " on "
+                << cfg_.name();
+        }
+    }
+}
+
+TEST_P(GateSolverTech, EnergiesArePositiveAndBounded)
+{
+    for (GateType g : allGates()) {
+        const SolvedGate s = solveGate(cfg_, g);
+        if (!s.feasible) {
+            continue;
+        }
+        const int n = gateNumInputs(g);
+        for (unsigned c = 0; c < (1u << n); ++c) {
+            EXPECT_GT(s.energyByCombo[c], 0.0);
+            EXPECT_LE(s.energyByCombo[c], s.worstEnergy);
+        }
+        EXPECT_LE(s.avgEnergy, s.worstEnergy);
+        // Single-gate pulses are deep sub-picojoule for projected
+        // devices and sub-pJ for modern: sanity-bound at 1 pJ.
+        EXPECT_LT(s.worstEnergy, 1e-12) << gateName(g);
+    }
+}
+
+TEST_P(GateSolverTech, MarginSweepMonotone)
+{
+    // Widening the required margin can only remove feasibility.
+    for (GateType g : allGates()) {
+        bool was_feasible = true;
+        for (double margin : {0.01, 0.05, 0.10, 0.20, 0.40}) {
+            const bool feasible = solveGate(cfg_, g, margin).feasible;
+            if (!was_feasible) {
+                EXPECT_FALSE(feasible) << gateName(g);
+            }
+            was_feasible = feasible;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechs, GateSolverTech,
+                         ::testing::Values(TechConfig::ModernStt,
+                                           TechConfig::ProjectedStt,
+                                           TechConfig::ProjectedShe),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case TechConfig::ModernStt:
+                                 return "ModernStt";
+                               case TechConfig::ProjectedStt:
+                                 return "ProjectedStt";
+                               default:
+                                 return "ProjectedShe";
+                             }
+                         });
+
+TEST(GateLibrary, ProjectedBeatsModernOnEnergy)
+{
+    const GateLibrary modern(makeDeviceConfig(TechConfig::ModernStt));
+    const GateLibrary projected(
+        makeDeviceConfig(TechConfig::ProjectedStt));
+    EXPECT_LT(projected.gateAvgEnergy(GateType::kNand2),
+              modern.gateAvgEnergy(GateType::kNand2) / 10.0);
+    EXPECT_LT(projected.writeOp().energy, modern.writeOp().energy);
+}
+
+TEST(GateLibrary, SheBeatsProjectedSttOnEnergy)
+{
+    // Section II-D: the SHE channel separates the write path, cutting
+    // gate and write energy further.
+    const GateLibrary stt(makeDeviceConfig(TechConfig::ProjectedStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    EXPECT_LT(she.gateAvgEnergy(GateType::kNand2),
+              stt.gateAvgEnergy(GateType::kNand2));
+    EXPECT_LT(she.writeOp().energy, stt.writeOp().energy);
+}
+
+TEST(GateLibrary, SheImprovesGateFeasibility)
+{
+    // The state-independent output branch widens margins, so SHE
+    // supports at least the STT gate set.
+    const GateLibrary stt(makeDeviceConfig(TechConfig::ProjectedStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    for (GateType g : allGates()) {
+        if (stt.feasible(g)) {
+            EXPECT_TRUE(she.feasible(g)) << gateName(g);
+        }
+    }
+}
+
+TEST(GateLibrary, ReadsAreNonDestructive)
+{
+    for (auto tech : {TechConfig::ModernStt, TechConfig::ProjectedStt,
+                      TechConfig::ProjectedShe}) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const DeviceConfig &cfg = lib.config();
+        // The read voltage across the worst-case (lowest resistance)
+        // path must stay below the switching current.
+        const Amperes i =
+            lib.readOp().voltage / readPathResistance(cfg, MtjState::P);
+        EXPECT_LT(i, cfg.mtj.switchingCurrent);
+    }
+}
+
+TEST(GateLibrary, FeasibleGateListNonEmptyAndConsistent)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const auto gates = lib.feasibleGates();
+    EXPECT_FALSE(gates.empty());
+    for (GateType g : gates) {
+        EXPECT_TRUE(lib.feasible(g));
+    }
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the 64-bit MOUSE instruction format: round-trip
+ * encode/decode over the whole field space, constructors, and
+ * disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/instruction.hh"
+
+namespace mouse
+{
+namespace
+{
+
+TEST(Isa, GateOpcodeMappingRoundTrips)
+{
+    for (GateType g :
+         {GateType::kBuf, GateType::kNot, GateType::kAnd2,
+          GateType::kNand2, GateType::kOr2, GateType::kNor2,
+          GateType::kMaj3, GateType::kMin3}) {
+        const Opcode op = opcodeFromGate(g);
+        EXPECT_TRUE(isGateOpcode(op));
+        EXPECT_EQ(gateFromOpcode(op), g);
+    }
+    EXPECT_FALSE(isGateOpcode(Opcode::kHalt));
+    EXPECT_FALSE(isGateOpcode(Opcode::kActivateRange));
+    EXPECT_FALSE(isGateOpcode(Opcode::kPreset1));
+}
+
+TEST(Isa, HaltRoundTrip)
+{
+    const Instruction halt = Instruction::halt();
+    EXPECT_EQ(Instruction::decode(halt.encode()), halt);
+    EXPECT_EQ(halt.disassemble(), "HALT");
+}
+
+TEST(Isa, TwoInputGateRoundTrip)
+{
+    const Instruction inst =
+        Instruction::gate(GateType::kNand2, 37, 12, 14, 9);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_EQ(back.disassemble(), "NAND2 t37 r12,r14 -> r9");
+}
+
+TEST(Isa, ThreeInputGateRoundTrip)
+{
+    const Instruction inst =
+        Instruction::gate(GateType::kMaj3, 511, 1022, 1020, 1018, 1023);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_EQ(back.rows[2], 1018);
+}
+
+TEST(Isa, MemoryOpsRoundTrip)
+{
+    for (const Instruction inst :
+         {Instruction::readRow(3, 700), Instruction::writeRow(0, 0),
+          Instruction::preset(0, 5, 11), Instruction::preset(1, 5, 12)}) {
+        EXPECT_EQ(Instruction::decode(inst.encode()), inst);
+    }
+}
+
+TEST(Isa, ActivateListRoundTrip)
+{
+    std::array<ColAddr, kMaxActivateList> cols{1, 1023, 512, 7, 300};
+    const Instruction inst = Instruction::activateList(cols, 5, true);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_EQ(back.numCols, 5);
+    EXPECT_EQ(back.cols[1], 1023);
+}
+
+TEST(Isa, ActivateRangeRoundTrip)
+{
+    const Instruction inst = Instruction::activateRange(10, 999, false);
+    const Instruction back = Instruction::decode(inst.encode());
+    EXPECT_EQ(back, inst);
+    EXPECT_FALSE(back.clearActivation);
+}
+
+TEST(Isa, OpcodeLivesInTopNibble)
+{
+    const Instruction inst = Instruction::preset(1, 0, 0);
+    EXPECT_EQ(inst.encode() >> 60,
+              static_cast<std::uint64_t>(Opcode::kPreset1));
+}
+
+/** Property test: random well-formed instructions survive the wire. */
+TEST(Isa, RandomRoundTripProperty)
+{
+    Rng rng(2026);
+    const GateType encodable[] = {
+        GateType::kBuf,  GateType::kNot,  GateType::kAnd2,
+        GateType::kNand2, GateType::kOr2, GateType::kNor2,
+        GateType::kMaj3, GateType::kMin3};
+    for (int iter = 0; iter < 5000; ++iter) {
+        Instruction inst;
+        switch (rng.below(5)) {
+          case 0: {
+            const GateType g = encodable[rng.below(8)];
+            const auto tile = static_cast<TileAddr>(rng.below(512));
+            const auto r0 = static_cast<RowAddr>(rng.below(1024));
+            const auto r1 = static_cast<RowAddr>(rng.below(1024));
+            const auto r2 = static_cast<RowAddr>(rng.below(1024));
+            const auto out = static_cast<RowAddr>(rng.below(1024));
+            switch (gateNumInputs(g)) {
+              case 1:
+                inst = Instruction::gate(g, tile, r0, out);
+                break;
+              case 2:
+                inst = Instruction::gate(g, tile, r0, r1, out);
+                break;
+              default:
+                inst = Instruction::gate(g, tile, r0, r1, r2, out);
+                break;
+            }
+            break;
+          }
+          case 1:
+            inst = Instruction::readRow(
+                static_cast<TileAddr>(rng.below(512)),
+                static_cast<RowAddr>(rng.below(1024)));
+            break;
+          case 2:
+            inst = rng.chance(0.5)
+                       ? Instruction::preset(
+                             static_cast<Bit>(rng.below(2)),
+                             static_cast<TileAddr>(rng.below(512)),
+                             static_cast<RowAddr>(rng.below(1024)))
+                       : Instruction::writeRowShifted(
+                             static_cast<TileAddr>(rng.below(512)),
+                             static_cast<RowAddr>(rng.below(1024)),
+                             static_cast<ColAddr>(rng.below(1024)));
+            break;
+          case 3: {
+            std::array<ColAddr, kMaxActivateList> cols{};
+            const auto n =
+                static_cast<std::uint8_t>(1 + rng.below(5));
+            for (int i = 0; i < n; ++i) {
+                cols[static_cast<std::size_t>(i)] =
+                    static_cast<ColAddr>(rng.below(1024));
+            }
+            inst = Instruction::activateList(cols, n, rng.chance(0.5));
+            break;
+          }
+          default: {
+            const auto lo = static_cast<ColAddr>(rng.below(1024));
+            const auto hi = static_cast<ColAddr>(
+                lo + rng.below(1024 - lo));
+            inst = Instruction::activateRange(lo, hi, rng.chance(0.5));
+            break;
+          }
+        }
+        ASSERT_EQ(Instruction::decode(inst.encode()), inst)
+            << inst.disassemble();
+    }
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the program/trace containers: run-length merging,
+ * opcode counting, trace concatenation, instruction-memory bounds,
+ * and the RunStats arithmetic the breakdown figures depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/program.hh"
+#include "sim/stats.hh"
+
+namespace mouse
+{
+namespace
+{
+
+TEST(TraceContainer, AppendMergesIdenticalBlocks)
+{
+    Trace trace;
+    trace.append(Opcode::kGateNand2, 8, 8, 5);
+    trace.append(Opcode::kGateNand2, 8, 8, 3);
+    EXPECT_EQ(trace.blocks.size(), 1u);
+    EXPECT_EQ(trace.blocks[0].count, 8u);
+
+    // A different column count breaks the run.
+    trace.append(Opcode::kGateNand2, 16, 16, 1);
+    EXPECT_EQ(trace.blocks.size(), 2u);
+    // So does a different opcode.
+    trace.append(Opcode::kPreset0, 16, 16, 1);
+    EXPECT_EQ(trace.blocks.size(), 3u);
+    EXPECT_EQ(trace.totalInstructions(), 10u);
+}
+
+TEST(TraceContainer, AppendZeroCountIsNoop)
+{
+    Trace trace;
+    trace.append(Opcode::kGateNot, 4, 4, 0);
+    EXPECT_TRUE(trace.blocks.empty());
+}
+
+TEST(TraceContainer, AppendTraceRepeatsAndMergesAtSeams)
+{
+    Trace unit;
+    unit.append(Opcode::kGateNand2, 8, 8, 2);
+
+    Trace total;
+    total.appendTrace(unit, 5);
+    // Homogeneous repetition collapses into one block.
+    EXPECT_EQ(total.blocks.size(), 1u);
+    EXPECT_EQ(total.totalInstructions(), 10u);
+
+    Trace mixed;
+    mixed.append(Opcode::kPreset1, 8, 8, 1);
+    mixed.append(Opcode::kGateNand2, 8, 8, 1);
+    Trace seq;
+    seq.appendTrace(mixed, 3);
+    EXPECT_EQ(seq.totalInstructions(), 6u);
+    // The seams cannot merge (preset follows nand).
+    EXPECT_EQ(seq.blocks.size(), 6u);
+}
+
+TEST(ProgramContainer, CountOpcodeAndEncode)
+{
+    Program prog;
+    prog.instructions.push_back(Instruction::activateRange(0, 3));
+    prog.instructions.push_back(Instruction::preset(0, 0, 1));
+    prog.instructions.push_back(
+        Instruction::gate(GateType::kNand2, 0, 0, 2, 1));
+    prog.instructions.push_back(Instruction::halt());
+    EXPECT_EQ(prog.countOpcode(Opcode::kPreset0), 1u);
+    EXPECT_EQ(prog.countOpcode(Opcode::kGateNand2), 1u);
+    EXPECT_EQ(prog.countOpcode(Opcode::kHalt), 1u);
+    EXPECT_EQ(prog.countOpcode(Opcode::kGateMaj3), 0u);
+
+    const auto words = prog.encode();
+    ASSERT_EQ(words.size(), 4u);
+    EXPECT_EQ(Instruction::decode(words[2]).op, Opcode::kGateNand2);
+}
+
+TEST(TraceContainer, FromProgramTracksActivationState)
+{
+    ArrayConfig cfg;
+    cfg.tileCols = 32;
+    cfg.numDataTiles = 2;
+    Program prog;
+    prog.instructions.push_back(Instruction::activateRange(0, 7));
+    prog.instructions.push_back(Instruction::preset(1, 0, 2));
+    prog.instructions.push_back(
+        Instruction::activateRange(0, 15, true));
+    prog.instructions.push_back(Instruction::preset(1, 0, 4));
+    // Broadcast gate across both data tiles.
+    prog.instructions.push_back(Instruction::gate(
+        GateType::kNand2, kBroadcastTile, 0, 2, 1));
+    prog.instructions.push_back(Instruction::halt());
+
+    const Trace trace = Trace::fromProgram(prog, cfg);
+    EXPECT_EQ(trace.totalInstructions(), 5u);  // HALT excluded
+    // First preset ran with 8 columns, second with 16.
+    EXPECT_EQ(trace.blocks[1].touchedCols, 8u);
+    EXPECT_EQ(trace.blocks[3].touchedCols, 16u);
+    // The broadcast gate touches activeCols x numDataTiles.
+    EXPECT_EQ(trace.blocks[4].touchedCols, 32u);
+}
+
+TEST(RunStatsMath, SharesAndTotals)
+{
+    RunStats s;
+    s.computeEnergy = 80e-6;
+    s.backupEnergy = 10e-6;
+    s.deadEnergy = 6e-6;
+    s.restoreEnergy = 4e-6;
+    EXPECT_DOUBLE_EQ(s.totalEnergy(), 100e-6);
+    EXPECT_DOUBLE_EQ(s.deadEnergyShare(), 0.06);
+    EXPECT_DOUBLE_EQ(s.backupEnergyShare(), 0.10);
+    EXPECT_DOUBLE_EQ(s.restoreEnergyShare(), 0.04);
+
+    s.activeTime = 1.0;
+    s.deadTime = 0.25;
+    s.restoreTime = 0.25;
+    s.chargingTime = 0.5;
+    EXPECT_DOUBLE_EQ(s.totalTime(), 2.0);
+    EXPECT_DOUBLE_EQ(s.deadTimeShare(), 0.125);
+    EXPECT_DOUBLE_EQ(s.restoreTimeShare(), 0.125);
+
+    const std::string text = s.summary();
+    EXPECT_NE(text.find("energy"), std::string::npos);
+    EXPECT_NE(text.find("latency"), std::string::npos);
+}
+
+TEST(RunStatsMath, EmptyRunHasZeroShares)
+{
+    const RunStats s;
+    EXPECT_EQ(s.totalEnergy(), 0.0);
+    EXPECT_EQ(s.deadEnergyShare(), 0.0);
+    EXPECT_EQ(s.deadTimeShare(), 0.0);
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the static forward-progress analyzer and the
+ * time-varying power-source path of the harvesting simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/builder.hh"
+#include "ml/mapping.hh"
+#include "sim/termination.hh"
+
+namespace mouse
+{
+namespace
+{
+
+Trace
+smallTrace(const GateLibrary &lib)
+{
+    ArrayConfig cfg;
+    cfg.tileRows = 128;
+    cfg.tileCols = 64;
+    cfg.numDataTiles = 1;
+    KernelBuilder kb(lib, cfg, 0, 16);
+    kb.activate(0, 63);
+    Word s = kb.add(kb.pinnedWord(0, 4), kb.pinnedWord(8, 4));
+    (void)s;
+    return Trace::fromProgram(kb.finish(), cfg);
+}
+
+TEST(Termination, PaperConfigurationsTerminate)
+{
+    // Every paper benchmark on every technology must pass the static
+    // check with the paper's buffer sizes — otherwise the Figure 9
+    // runs could not have completed.
+    for (TechConfig tech :
+         {TechConfig::ModernStt, TechConfig::ProjectedStt,
+          TechConfig::ProjectedShe}) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        const EnergyModel energy(lib);
+        const Trace trace = smallTrace(lib);
+        HarvestConfig harvest;
+        const TerminationReport report =
+            analyzeTermination(trace, energy, harvest);
+        EXPECT_TRUE(report.terminates);
+        EXPECT_GT(report.margin, 10.0);
+        EXPECT_LT(report.minCapacitance,
+                  lib.config().bufferCapacitance);
+    }
+}
+
+TEST(Termination, TinyBufferFailsTheCheck)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    Trace trace;
+    trace.append(Opcode::kGateNand2, 200000, 200000, 5);
+    HarvestConfig harvest;
+    harvest.capacitanceOverride = 1e-9;
+    const TerminationReport report =
+        analyzeTermination(trace, energy, harvest);
+    EXPECT_FALSE(report.terminates);
+    EXPECT_LT(report.margin, 1.0);
+    EXPECT_GT(report.minCapacitance, 1e-9);
+}
+
+TEST(Termination, ReportIdentifiesBindingBlock)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    Trace trace;
+    trace.append(Opcode::kGateNand2, 4, 4, 100);
+    trace.append(Opcode::kGateNand2, 4096, 4096, 1);  // the hog
+    trace.append(Opcode::kPreset0, 4, 4, 100);
+    const TerminationReport report = analyzeTermination(
+        trace, energy, HarvestConfig{});
+    EXPECT_EQ(report.bindingBlock, 1u);
+    EXPECT_GT(report.worstInstructionEnergy, 0.0);
+}
+
+TEST(Termination, MinCapacitanceIsTight)
+{
+    // Re-running the analysis with exactly minCapacitance should sit
+    // at the feasibility edge (margin ~ 1).
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    const Trace trace = smallTrace(lib);
+    HarvestConfig harvest;
+    const TerminationReport first =
+        analyzeTermination(trace, energy, harvest);
+    harvest.capacitanceOverride = first.minCapacitance * 1.01;
+    const TerminationReport tight =
+        analyzeTermination(trace, energy, harvest);
+    EXPECT_TRUE(tight.terminates);
+    EXPECT_NEAR(tight.margin, 1.01, 0.02);
+}
+
+TEST(Termination, MaxSafeParallelismOrdering)
+{
+    // More efficient technologies can afford wider instructions
+    // within their (smaller!) buffers.
+    HarvestConfig harvest;
+    const GateLibrary modern(makeDeviceConfig(TechConfig::ModernStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    const EnergyModel e_modern(modern);
+    const EnergyModel e_she(she);
+    const unsigned p_modern = maxSafeParallelism(e_modern, harvest);
+    const unsigned p_she = maxSafeParallelism(e_she, harvest);
+    EXPECT_GT(p_modern, 1024u);  // the paper's buffers are ample
+    EXPECT_GT(p_she, 1024u);
+    // Analyzer consistency: a trace at the reported limit passes,
+    // one just above fails.
+    Trace at_limit;
+    at_limit.append(Opcode::kGateNand2, p_modern, p_modern, 1);
+    EXPECT_TRUE(
+        analyzeTermination(at_limit, e_modern, harvest).terminates);
+    Trace over;
+    over.append(Opcode::kGateNand2, p_modern * 2, p_modern * 2, 1);
+    EXPECT_FALSE(
+        analyzeTermination(over, e_modern, harvest).terminates);
+}
+
+TEST(TimeVaryingSource, SolarTraceChargesThroughNight)
+{
+    // A day/night source: strong for 1 ms, off-ish for 3 ms.  The
+    // run must complete, with charging time dominated by the weak
+    // segments.
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    const Trace trace = smallTrace(lib);
+
+    TracePowerSource solar({{1e-3, 200e-6}, {3e-3, 2e-6}});
+    HarvestConfig harvest;
+    harvest.source = &solar;
+    harvest.capacitanceOverride = 400e-12;  // force many outages
+    const RunStats stats = runHarvestedTrace(trace, energy, harvest);
+    EXPECT_EQ(stats.instructionsCommitted,
+              trace.totalInstructions());
+    EXPECT_GT(stats.chargingTime, 0.0);
+
+    // A constant source at the trace's average power should be
+    // faster than the bursty trace is at its *minimum* power and
+    // slower than at its maximum.
+    HarvestConfig max_cfg;
+    max_cfg.sourcePower = 200e-6;
+    max_cfg.capacitanceOverride = 400e-12;
+    HarvestConfig min_cfg;
+    min_cfg.sourcePower = 2e-6;
+    min_cfg.capacitanceOverride = 400e-12;
+    const RunStats at_max =
+        runHarvestedTrace(trace, energy, max_cfg);
+    const RunStats at_min =
+        runHarvestedTrace(trace, energy, min_cfg);
+    EXPECT_GE(stats.totalTime(), at_max.totalTime());
+    EXPECT_LE(stats.totalTime(), at_min.totalTime());
+}
+
+TEST(TimeVaryingSource, StrongSourceSustainsExecution)
+{
+    // With the in-execution charging credit, a source stronger than
+    // the draw never causes an outage after the initial charge.
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    const EnergyModel energy(lib);
+    const Trace trace = smallTrace(lib);
+    HarvestConfig harvest;
+    harvest.sourcePower = 50e-3;  // 50 mW >> draw
+    const RunStats stats = runHarvestedTrace(trace, energy, harvest);
+    EXPECT_EQ(stats.outages, 0u);
+}
+
+} // namespace
+} // namespace mouse

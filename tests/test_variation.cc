@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Monte Carlo device-variation analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/variation.hh"
+
+namespace mouse
+{
+namespace
+{
+
+TEST(Variation, ZeroSpreadNeverFails)
+{
+    for (TechConfig tech :
+         {TechConfig::ModernStt, TechConfig::ProjectedStt,
+          TechConfig::ProjectedShe}) {
+        const GateLibrary lib(makeDeviceConfig(tech));
+        Rng rng(1);
+        VariationModel model;
+        model.resistanceSigma = 0.0;
+        model.switchingCurrentSigma = 0.0;
+        for (GateType g : lib.feasibleGates()) {
+            const VariationResult r =
+                gateErrorRate(lib, g, model, 2000, rng);
+            EXPECT_EQ(r.failures, 0u) << gateName(g);
+        }
+    }
+}
+
+TEST(Variation, ErrorRateGrowsWithSpread)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    double prev = -1.0;
+    for (double sigma : {0.02, 0.08, 0.20}) {
+        Rng rng(7);
+        VariationModel model;
+        model.resistanceSigma = sigma;
+        model.switchingCurrentSigma = sigma;
+        const VariationResult r =
+            gateErrorRate(lib, GateType::kNand2, model, 30000, rng);
+        EXPECT_GT(r.errorRate(), prev) << "sigma " << sigma;
+        prev = r.errorRate();
+    }
+    EXPECT_GT(prev, 0.01);  // 20 % spread must visibly hurt
+}
+
+TEST(Variation, SheIsMoreRobustThanStt)
+{
+    // Section II-D: removing the output MTJ from the divider makes
+    // input values easier to distinguish.
+    VariationModel model;
+    model.resistanceSigma = 0.10;
+    model.switchingCurrentSigma = 0.10;
+    const GateLibrary stt(makeDeviceConfig(TechConfig::ProjectedStt));
+    const GateLibrary she(makeDeviceConfig(TechConfig::ProjectedShe));
+    Rng rng_a(11);
+    Rng rng_b(11);
+    const VariationResult r_stt =
+        gateErrorRate(stt, GateType::kAnd2, model, 40000, rng_a);
+    const VariationResult r_she =
+        gateErrorRate(she, GateType::kAnd2, model, 40000, rng_b);
+    EXPECT_LT(r_she.errorRate(), r_stt.errorRate());
+}
+
+TEST(Variation, HighTmrBeatsLowTmr)
+{
+    VariationModel model;
+    model.resistanceSigma = 0.06;
+    model.switchingCurrentSigma = 0.06;
+    const GateLibrary modern(makeDeviceConfig(TechConfig::ModernStt));
+    const GateLibrary proj(makeDeviceConfig(TechConfig::ProjectedStt));
+    Rng rng_a(13);
+    Rng rng_b(13);
+    const VariationResult r_modern =
+        gateErrorRate(modern, GateType::kNand2, model, 40000, rng_a);
+    const VariationResult r_proj =
+        gateErrorRate(proj, GateType::kNand2, model, 40000, rng_b);
+    EXPECT_LT(r_proj.errorRate(), r_modern.errorRate());
+}
+
+TEST(Variation, DeterministicGivenSeed)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    VariationModel model;
+    model.resistanceSigma = 0.08;
+    Rng a(99);
+    Rng b(99);
+    const VariationResult ra =
+        gateErrorRate(lib, GateType::kNor2, model, 10000, a);
+    const VariationResult rb =
+        gateErrorRate(lib, GateType::kNor2, model, 10000, b);
+    EXPECT_EQ(ra.failures, rb.failures);
+}
+
+} // namespace
+} // namespace mouse

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * mouse_cli — command-line driver for the MOUSE simulator.
+ *
+ * Subcommands:
+ *   info    [--tech T]                  device + gate operating points
+ *   bench   NAME [--tech T] [--power W] [--continuous]
+ *                                       run one paper benchmark
+ *   sweep   NAME [--tech T]             Figure-9-style power sweep
+ *   analyze NAME [--tech T]             static forward-progress report
+ *   area    MB   [--tech T]             Table-III area query
+ *   list                                benchmark and tech names
+ *
+ * Tech names: modern-stt (default), projected-stt, she.
+ * Benchmark names: mnist, mnist-bin, har, adult, finn, fpbnn.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "energy/area_model.hh"
+#include "sim/termination.hh"
+#include "../bench/workloads.hh"
+
+using namespace mouse;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mouse_cli <command> [args]\n"
+        "  info    [--tech T]\n"
+        "  bench   NAME [--tech T] [--power WATTS] [--continuous]\n"
+        "  sweep   NAME [--tech T]\n"
+        "  analyze NAME [--tech T]\n"
+        "  area    MB [--tech T]\n"
+        "  list\n"
+        "tech: modern-stt | projected-stt | she\n"
+        "benchmarks: mnist mnist-bin har adult finn fpbnn\n");
+    return 2;
+}
+
+std::optional<TechConfig>
+parseTech(const std::string &name)
+{
+    if (name == "modern-stt") {
+        return TechConfig::ModernStt;
+    }
+    if (name == "projected-stt") {
+        return TechConfig::ProjectedStt;
+    }
+    if (name == "she") {
+        return TechConfig::ProjectedShe;
+    }
+    return std::nullopt;
+}
+
+std::optional<bench::Benchmark>
+parseBenchmark(const std::string &name)
+{
+    const char *keys[] = {"mnist", "mnist-bin", "har",
+                          "adult", "finn",      "fpbnn"};
+    const auto all = bench::paperBenchmarks();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (name == keys[i]) {
+            return all[i];
+        }
+    }
+    return std::nullopt;
+}
+
+/** Parsed common flags. */
+struct Options
+{
+    TechConfig tech = TechConfig::ModernStt;
+    Watts power = 60e-6;
+    bool continuous = false;
+};
+
+bool
+parseFlags(int argc, char **argv, int start, Options &opts)
+{
+    for (int i = start; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--tech") && i + 1 < argc) {
+            const auto tech = parseTech(argv[++i]);
+            if (!tech) {
+                std::fprintf(stderr, "unknown tech '%s'\n", argv[i]);
+                return false;
+            }
+            opts.tech = *tech;
+        } else if (!std::strcmp(argv[i], "--power") && i + 1 < argc) {
+            opts.power = std::stod(argv[++i]);
+            if (opts.power <= 0.0) {
+                std::fprintf(stderr, "power must be positive\n");
+                return false;
+            }
+        } else if (!std::strcmp(argv[i], "--continuous")) {
+            opts.continuous = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+cmdInfo(const Options &opts)
+{
+    const GateLibrary lib(makeDeviceConfig(opts.tech));
+    const DeviceConfig &cfg = lib.config();
+    std::printf("%s: %.1f MHz, window %.0f..%.0f mV, buffer %.0f uF\n",
+                cfg.name().c_str(), cfg.frequency() / 1e6,
+                cfg.capVoltageLow * 1e3, cfg.capVoltageHigh * 1e3,
+                cfg.bufferCapacitance * 1e6);
+    std::printf("MTJ: Rp %.2f k, Rap %.2f k, tsw %.0f ns, Ic %.0f uA "
+                "(TMR %.2f)\n",
+                cfg.mtj.rParallel / 1e3, cfg.mtj.rAntiParallel / 1e3,
+                cfg.mtj.switchingTime * 1e9,
+                cfg.mtj.switchingCurrent * 1e6, cfg.mtj.tmr());
+    std::printf("feasible gates:");
+    for (GateType g : lib.feasibleGates()) {
+        std::printf(" %s", gateName(g).c_str());
+    }
+    std::printf("\nwrite %.1f mV / %.3f fJ, read %.1f mV / %.3f fJ\n",
+                lib.writeOp().voltage * 1e3,
+                lib.writeOp().energy * 1e15,
+                lib.readOp().voltage * 1e3,
+                lib.readOp().energy * 1e15);
+    return 0;
+}
+
+int
+cmdBench(const bench::Benchmark &b, const Options &opts)
+{
+    const GateLibrary lib(makeDeviceConfig(opts.tech));
+    const EnergyModel energy(lib);
+    MappingInfo info;
+    const Trace trace = bench::traceFor(lib, b, &info);
+    RunStats stats;
+    if (opts.continuous) {
+        stats = runContinuousTrace(trace, energy);
+        std::printf("%s on %s, continuous power\n", b.name.c_str(),
+                    lib.config().name().c_str());
+    } else {
+        HarvestConfig harvest;
+        harvest.sourcePower = opts.power;
+        stats = runHarvestedTrace(trace, energy, harvest);
+        std::printf("%s on %s, %.0f uW harvester\n", b.name.c_str(),
+                    lib.config().name().c_str(), opts.power * 1e6);
+    }
+    std::printf("layout: %u elem/col, %u cols/unit, %llu units x %u "
+                "batch(es), %.1f + %.1f MB\n",
+                info.elementsPerColumn, info.colsPerUnit,
+                static_cast<unsigned long long>(info.unitsPerBatch),
+                info.batches, info.instrMB, info.dataMB);
+    std::printf("%s\n", stats.summary().c_str());
+    return 0;
+}
+
+int
+cmdSweep(const bench::Benchmark &b, const Options &opts)
+{
+    const GateLibrary lib(makeDeviceConfig(opts.tech));
+    const EnergyModel energy(lib);
+    const Trace trace = bench::traceFor(lib, b);
+    std::printf("%-12s %16s %14s %10s\n", "power", "latency (us)",
+                "energy (uJ)", "outages");
+    for (Watts p : bench::powerSweep()) {
+        HarvestConfig harvest;
+        harvest.sourcePower = p;
+        const RunStats s = runHarvestedTrace(trace, energy, harvest);
+        std::printf("%9.0f uW %16.0f %14.3f %10llu\n", p * 1e6,
+                    s.totalTime() * 1e6, s.totalEnergy() * 1e6,
+                    static_cast<unsigned long long>(s.outages));
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const bench::Benchmark &b, const Options &opts)
+{
+    const GateLibrary lib(makeDeviceConfig(opts.tech));
+    const EnergyModel energy(lib);
+    const Trace trace = bench::traceFor(lib, b);
+    const TerminationReport r =
+        analyzeTermination(trace, energy, HarvestConfig{});
+    std::printf("%s on %s\n", b.name.c_str(),
+                lib.config().name().c_str());
+    std::printf("burst energy: %.3f nJ\n", r.burstEnergy * 1e9);
+    std::printf("worst instruction + restore: %.3f pJ (block %zu)\n",
+                (r.worstInstructionEnergy + r.worstRestoreEnergy) *
+                    1e12,
+                r.bindingBlock);
+    std::printf("forward progress: %s (margin %.0fx, min buffer "
+                "%.3f nF)\n",
+                r.terminates ? "GUARANTEED" : "NOT GUARANTEED",
+                r.margin, r.minCapacitance * 1e9);
+    return 0;
+}
+
+int
+cmdArea(double mb, const Options &opts)
+{
+    std::printf("%.0f MB on %s: %.2f mm^2 (rounded capacity %.0f "
+                "MB)\n",
+                mb, makeDeviceConfig(opts.tech).name().c_str(),
+                mouseAreaForFootprint(opts.tech, mb),
+                roundUpPow2Mb(mb));
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::printf("benchmarks:\n");
+    const char *keys[] = {"mnist", "mnist-bin", "har",
+                          "adult", "finn",      "fpbnn"};
+    const auto all = bench::paperBenchmarks();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        std::printf("  %-10s %s (%.0f MB)\n", keys[i],
+                    all[i].name.c_str(), all[i].capacityMB);
+    }
+    std::printf("techs: modern-stt projected-stt she\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string cmd = argv[1];
+    Options opts;
+
+    if (cmd == "list") {
+        return cmdList();
+    }
+    if (cmd == "info") {
+        return parseFlags(argc, argv, 2, opts) ? cmdInfo(opts)
+                                               : usage();
+    }
+    if (cmd == "area") {
+        if (argc < 3) {
+            return usage();
+        }
+        const double mb = std::stod(argv[2]);
+        if (mb <= 0.0) {
+            std::fprintf(stderr, "capacity must be positive\n");
+            return 2;
+        }
+        return parseFlags(argc, argv, 3, opts) ? cmdArea(mb, opts)
+                                               : usage();
+    }
+    if (cmd == "bench" || cmd == "sweep" || cmd == "analyze") {
+        if (argc < 3) {
+            return usage();
+        }
+        const auto b = parseBenchmark(argv[2]);
+        if (!b) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n", argv[2]);
+            return 2;
+        }
+        if (!parseFlags(argc, argv, 3, opts)) {
+            return usage();
+        }
+        if (cmd == "bench") {
+            return cmdBench(*b, opts);
+        }
+        if (cmd == "sweep") {
+            return cmdSweep(*b, opts);
+        }
+        return cmdAnalyze(*b, opts);
+    }
+    return usage();
+}
