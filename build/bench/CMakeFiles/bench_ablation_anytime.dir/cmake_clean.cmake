@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anytime.dir/bench_ablation_anytime.cc.o"
+  "CMakeFiles/bench_ablation_anytime.dir/bench_ablation_anytime.cc.o.d"
+  "bench_ablation_anytime"
+  "bench_ablation_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_margin_capacitor.dir/bench_ablation_margin_capacitor.cc.o"
+  "CMakeFiles/bench_ablation_margin_capacitor.dir/bench_ablation_margin_capacitor.cc.o.d"
+  "bench_ablation_margin_capacitor"
+  "bench_ablation_margin_capacitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_margin_capacitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

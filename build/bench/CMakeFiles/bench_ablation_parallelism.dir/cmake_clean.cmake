@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallelism.dir/bench_ablation_parallelism.cc.o"
+  "CMakeFiles/bench_ablation_parallelism.dir/bench_ablation_parallelism.cc.o.d"
+  "bench_ablation_parallelism"
+  "bench_ablation_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

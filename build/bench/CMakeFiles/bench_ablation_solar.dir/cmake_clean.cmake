@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_solar.dir/bench_ablation_solar.cc.o"
+  "CMakeFiles/bench_ablation_solar.dir/bench_ablation_solar.cc.o.d"
+  "bench_ablation_solar"
+  "bench_ablation_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_converter_rails.dir/bench_converter_rails.cc.o"
+  "CMakeFiles/bench_converter_rails.dir/bench_converter_rails.cc.o.d"
+  "bench_converter_rails"
+  "bench_converter_rails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_converter_rails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

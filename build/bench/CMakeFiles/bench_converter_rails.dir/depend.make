@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_converter_rails.
+# This may be replaced when dependencies are built.

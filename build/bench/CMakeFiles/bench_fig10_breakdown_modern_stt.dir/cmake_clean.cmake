@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_breakdown_modern_stt.dir/bench_fig10_breakdown_modern_stt.cc.o"
+  "CMakeFiles/bench_fig10_breakdown_modern_stt.dir/bench_fig10_breakdown_modern_stt.cc.o.d"
+  "bench_fig10_breakdown_modern_stt"
+  "bench_fig10_breakdown_modern_stt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_breakdown_modern_stt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_breakdown_she.dir/bench_fig12_breakdown_she.cc.o"
+  "CMakeFiles/bench_fig12_breakdown_she.dir/bench_fig12_breakdown_she.cc.o.d"
+  "bench_fig12_breakdown_she"
+  "bench_fig12_breakdown_she.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_breakdown_she.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_breakdown_she.
+# This may be replaced when dependencies are built.

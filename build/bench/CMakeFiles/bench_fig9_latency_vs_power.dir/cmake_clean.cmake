@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_latency_vs_power.dir/bench_fig9_latency_vs_power.cc.o"
+  "CMakeFiles/bench_fig9_latency_vs_power.dir/bench_fig9_latency_vs_power.cc.o.d"
+  "bench_fig9_latency_vs_power"
+  "bench_fig9_latency_vs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_latency_vs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

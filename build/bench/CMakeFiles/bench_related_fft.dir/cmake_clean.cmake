@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_fft.dir/bench_related_fft.cc.o"
+  "CMakeFiles/bench_related_fft.dir/bench_related_fft.cc.o.d"
+  "bench_related_fft"
+  "bench_related_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_continuous.dir/bench_table4_continuous.cc.o"
+  "CMakeFiles/bench_table4_continuous.dir/bench_table4_continuous.cc.o.d"
+  "bench_table4_continuous"
+  "bench_table4_continuous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_termination_analysis.dir/bench_termination_analysis.cc.o"
+  "CMakeFiles/bench_termination_analysis.dir/bench_termination_analysis.cc.o.d"
+  "bench_termination_analysis"
+  "bench_termination_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_termination_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_mapping.dir/application_mapping.cpp.o"
+  "CMakeFiles/application_mapping.dir/application_mapping.cpp.o.d"
+  "application_mapping"
+  "application_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermittent_inference.dir/intermittent_inference.cpp.o"
+  "CMakeFiles/intermittent_inference.dir/intermittent_inference.cpp.o.d"
+  "intermittent_inference"
+  "intermittent_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermittent_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

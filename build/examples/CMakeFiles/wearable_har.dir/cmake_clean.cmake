@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_har.dir/wearable_har.cpp.o"
+  "CMakeFiles/wearable_har.dir/wearable_har.cpp.o.d"
+  "wearable_har"
+  "wearable_har.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_har.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wearable_har.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("device")
+subdirs("logic")
+subdirs("isa")
+subdirs("arch")
+subdirs("controller")
+subdirs("energy")
+subdirs("harvest")
+subdirs("compile")
+subdirs("ml")
+subdirs("sim")
+subdirs("baseline")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_arch.dir/tile.cc.o"
+  "CMakeFiles/mouse_arch.dir/tile.cc.o.d"
+  "CMakeFiles/mouse_arch.dir/tile_grid.cc.o"
+  "CMakeFiles/mouse_arch.dir/tile_grid.cc.o.d"
+  "libmouse_arch.a"
+  "libmouse_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

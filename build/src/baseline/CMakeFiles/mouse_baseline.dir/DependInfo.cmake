@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu.cc" "src/baseline/CMakeFiles/mouse_baseline.dir/cpu.cc.o" "gcc" "src/baseline/CMakeFiles/mouse_baseline.dir/cpu.cc.o.d"
+  "/root/repo/src/baseline/sonic.cc" "src/baseline/CMakeFiles/mouse_baseline.dir/sonic.cc.o" "gcc" "src/baseline/CMakeFiles/mouse_baseline.dir/sonic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mouse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/mouse_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mouse_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/mouse_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mouse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mouse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mouse_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mouse_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mouse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

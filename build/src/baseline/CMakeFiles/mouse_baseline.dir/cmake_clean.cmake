@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_baseline.dir/cpu.cc.o"
+  "CMakeFiles/mouse_baseline.dir/cpu.cc.o.d"
+  "CMakeFiles/mouse_baseline.dir/sonic.cc.o"
+  "CMakeFiles/mouse_baseline.dir/sonic.cc.o.d"
+  "libmouse_baseline.a"
+  "libmouse_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

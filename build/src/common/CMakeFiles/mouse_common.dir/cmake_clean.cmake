@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_common.dir/logging.cc.o"
+  "CMakeFiles/mouse_common.dir/logging.cc.o.d"
+  "CMakeFiles/mouse_common.dir/rng.cc.o"
+  "CMakeFiles/mouse_common.dir/rng.cc.o.d"
+  "libmouse_common.a"
+  "libmouse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_compile.dir/builder.cc.o"
+  "CMakeFiles/mouse_compile.dir/builder.cc.o.d"
+  "CMakeFiles/mouse_compile.dir/fft.cc.o"
+  "CMakeFiles/mouse_compile.dir/fft.cc.o.d"
+  "CMakeFiles/mouse_compile.dir/program.cc.o"
+  "CMakeFiles/mouse_compile.dir/program.cc.o.d"
+  "libmouse_compile.a"
+  "libmouse_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

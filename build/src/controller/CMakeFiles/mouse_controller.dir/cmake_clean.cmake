@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_controller.dir/controller.cc.o"
+  "CMakeFiles/mouse_controller.dir/controller.cc.o.d"
+  "libmouse_controller.a"
+  "libmouse_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

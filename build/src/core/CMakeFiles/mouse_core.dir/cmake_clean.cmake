@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_core.dir/accelerator.cc.o"
+  "CMakeFiles/mouse_core.dir/accelerator.cc.o.d"
+  "CMakeFiles/mouse_core.dir/pipeline.cc.o"
+  "CMakeFiles/mouse_core.dir/pipeline.cc.o.d"
+  "libmouse_core.a"
+  "libmouse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

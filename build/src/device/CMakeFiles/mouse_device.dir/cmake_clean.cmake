@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_device.dir/mtj_params.cc.o"
+  "CMakeFiles/mouse_device.dir/mtj_params.cc.o.d"
+  "CMakeFiles/mouse_device.dir/network.cc.o"
+  "CMakeFiles/mouse_device.dir/network.cc.o.d"
+  "libmouse_device.a"
+  "libmouse_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

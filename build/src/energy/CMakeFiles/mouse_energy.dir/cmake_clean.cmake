@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_energy.dir/area_model.cc.o"
+  "CMakeFiles/mouse_energy.dir/area_model.cc.o.d"
+  "CMakeFiles/mouse_energy.dir/energy_model.cc.o"
+  "CMakeFiles/mouse_energy.dir/energy_model.cc.o.d"
+  "libmouse_energy.a"
+  "libmouse_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

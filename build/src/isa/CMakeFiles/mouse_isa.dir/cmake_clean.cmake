@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_isa.dir/instruction.cc.o"
+  "CMakeFiles/mouse_isa.dir/instruction.cc.o.d"
+  "libmouse_isa.a"
+  "libmouse_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

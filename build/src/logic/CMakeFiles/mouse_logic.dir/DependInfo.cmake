@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/gate.cc" "src/logic/CMakeFiles/mouse_logic.dir/gate.cc.o" "gcc" "src/logic/CMakeFiles/mouse_logic.dir/gate.cc.o.d"
+  "/root/repo/src/logic/gate_library.cc" "src/logic/CMakeFiles/mouse_logic.dir/gate_library.cc.o" "gcc" "src/logic/CMakeFiles/mouse_logic.dir/gate_library.cc.o.d"
+  "/root/repo/src/logic/gate_solver.cc" "src/logic/CMakeFiles/mouse_logic.dir/gate_solver.cc.o" "gcc" "src/logic/CMakeFiles/mouse_logic.dir/gate_solver.cc.o.d"
+  "/root/repo/src/logic/variation.cc" "src/logic/CMakeFiles/mouse_logic.dir/variation.cc.o" "gcc" "src/logic/CMakeFiles/mouse_logic.dir/variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/mouse_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mouse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_logic.dir/gate.cc.o"
+  "CMakeFiles/mouse_logic.dir/gate.cc.o.d"
+  "CMakeFiles/mouse_logic.dir/gate_library.cc.o"
+  "CMakeFiles/mouse_logic.dir/gate_library.cc.o.d"
+  "CMakeFiles/mouse_logic.dir/gate_solver.cc.o"
+  "CMakeFiles/mouse_logic.dir/gate_solver.cc.o.d"
+  "CMakeFiles/mouse_logic.dir/variation.cc.o"
+  "CMakeFiles/mouse_logic.dir/variation.cc.o.d"
+  "libmouse_logic.a"
+  "libmouse_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/anytime.cc" "src/ml/CMakeFiles/mouse_ml.dir/anytime.cc.o" "gcc" "src/ml/CMakeFiles/mouse_ml.dir/anytime.cc.o.d"
+  "/root/repo/src/ml/bnn.cc" "src/ml/CMakeFiles/mouse_ml.dir/bnn.cc.o" "gcc" "src/ml/CMakeFiles/mouse_ml.dir/bnn.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/mouse_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/mouse_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/mapping.cc" "src/ml/CMakeFiles/mouse_ml.dir/mapping.cc.o" "gcc" "src/ml/CMakeFiles/mouse_ml.dir/mapping.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/mouse_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/mouse_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compile/CMakeFiles/mouse_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mouse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mouse_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/mouse_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mouse_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mouse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

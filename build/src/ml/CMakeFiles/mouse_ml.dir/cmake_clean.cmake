@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_ml.dir/anytime.cc.o"
+  "CMakeFiles/mouse_ml.dir/anytime.cc.o.d"
+  "CMakeFiles/mouse_ml.dir/bnn.cc.o"
+  "CMakeFiles/mouse_ml.dir/bnn.cc.o.d"
+  "CMakeFiles/mouse_ml.dir/dataset.cc.o"
+  "CMakeFiles/mouse_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/mouse_ml.dir/mapping.cc.o"
+  "CMakeFiles/mouse_ml.dir/mapping.cc.o.d"
+  "CMakeFiles/mouse_ml.dir/svm.cc.o"
+  "CMakeFiles/mouse_ml.dir/svm.cc.o.d"
+  "libmouse_ml.a"
+  "libmouse_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_sim.dir/simulator.cc.o"
+  "CMakeFiles/mouse_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/mouse_sim.dir/stats.cc.o"
+  "CMakeFiles/mouse_sim.dir/stats.cc.o.d"
+  "CMakeFiles/mouse_sim.dir/termination.cc.o"
+  "CMakeFiles/mouse_sim.dir/termination.cc.o.d"
+  "libmouse_sim.a"
+  "libmouse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

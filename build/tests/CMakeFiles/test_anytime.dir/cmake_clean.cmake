@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anytime.dir/test_anytime.cc.o"
+  "CMakeFiles/test_anytime.dir/test_anytime.cc.o.d"
+  "test_anytime"
+  "test_anytime.pdb"
+  "test_anytime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bnn_on_array.dir/test_bnn_on_array.cc.o"
+  "CMakeFiles/test_bnn_on_array.dir/test_bnn_on_array.cc.o.d"
+  "test_bnn_on_array"
+  "test_bnn_on_array.pdb"
+  "test_bnn_on_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bnn_on_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

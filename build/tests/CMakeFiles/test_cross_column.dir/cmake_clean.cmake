@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_column.dir/test_cross_column.cc.o"
+  "CMakeFiles/test_cross_column.dir/test_cross_column.cc.o.d"
+  "test_cross_column"
+  "test_cross_column.pdb"
+  "test_cross_column[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

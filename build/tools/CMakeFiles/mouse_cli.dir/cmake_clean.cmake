@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mouse_cli.dir/mouse_cli.cc.o"
+  "CMakeFiles/mouse_cli.dir/mouse_cli.cc.o.d"
+  "mouse_cli"
+  "mouse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mouse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
