@@ -7,6 +7,8 @@
  * argues per-cycle checkpointing (N = 1) is the right design point
  * because MOUSE's backup writes are nearly free; the sweep shows
  * exactly that.
+ *
+ * The (power x period) grid runs on the parallel ExperimentRunner.
  */
 
 #include <cstdio>
@@ -18,27 +20,27 @@ using namespace mouse;
 int
 main()
 {
-    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
-    const EnergyModel energy(lib);
-    const auto benchmarks = bench::paperBenchmarks();
-    const auto &b = benchmarks[1];  // SVM MNIST (Bin): mid-size
-    const Trace trace = bench::traceFor(lib, b);
+    exp::SweepGrid grid;
+    grid.techs = {TechConfig::ModernStt};
+    grid.benchmarks = {exp::paperBenchmarks()[1]};  // MNIST (Bin)
+    grid.powers = {60e-6, 500e-6};
+    grid.checkpointPeriods = {1u, 2u, 4u, 8u, 16u, 64u, 256u};
+    exp::ExperimentRunner runner;
+    const exp::SweepResult res = runner.run(grid);
 
     std::printf("Ablation: checkpoint period, %s on Modern STT\n\n",
-                b.name.c_str());
-    for (Watts power : {60e-6, 500e-6}) {
-        std::printf("source %.0f uW:\n", power * 1e6);
+                grid.benchmarks[0].name.c_str());
+    const std::size_t nperiod = grid.checkpointPeriods.size();
+    for (std::size_t p = 0; p < grid.powers.size(); ++p) {
+        std::printf("source %.0f uW:\n", grid.powers[p] * 1e6);
         std::printf("%-10s %14s %14s %14s %12s\n", "period N",
                     "backup (uJ)", "dead (uJ)", "latency (us)",
                     "outages");
         bench::printRule(70);
-        for (unsigned n : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
-            HarvestConfig harvest;
-            harvest.sourcePower = power;
-            harvest.checkpointPeriod = n;
-            const RunStats s =
-                runHarvestedTrace(trace, energy, harvest);
-            std::printf("%-10u %14.4f %14.4f %14.0f %12llu\n", n,
+        for (std::size_t c = 0; c < nperiod; ++c) {
+            const RunStats &s = res.points[p * nperiod + c].stats;
+            std::printf("%-10u %14.4f %14.4f %14.0f %12llu\n",
+                        grid.checkpointPeriods[c],
                         s.backupEnergy * 1e6, s.deadEnergy * 1e6,
                         s.totalTime() * 1e6,
                         static_cast<unsigned long long>(s.outages));

@@ -8,6 +8,10 @@
  *  2. Buffer capacitor sweep — the burst-size / charging-time
  *     trade-off at 60 uW the paper delegates to systems like
  *     Capybara.
+ *
+ * Both sweeps fan out over ExperimentRunner::map — the generic
+ * ordered-parallel primitive — because their per-point work is not a
+ * plain trace run (gate solving; a capacitance override).
  */
 
 #include <cstdio>
@@ -20,31 +24,42 @@ namespace
 {
 
 void
-marginSweep()
+marginSweep(const exp::ExperimentRunner &runner)
 {
-    std::printf("Ablation 1: feasible gates vs required noise "
-                "margin\n\n");
-    std::printf("%-10s", "margin");
-    for (TechConfig tech : bench::allTechs()) {
-        std::printf(" %16s",
-                    makeDeviceConfig(tech).name().c_str());
-    }
-    std::printf("\n");
-    bench::printRule(62);
-    for (double margin : {0.01, 0.03, 0.05, 0.10, 0.15, 0.25}) {
-        std::printf("%-10.2f", margin);
-        for (TechConfig tech : bench::allTechs()) {
-            // Solve gate-by-gate: at extreme margins even the
-            // universal NAND/NOT pair can collapse, which the
-            // GateLibrary constructor (rightly) refuses.
-            const DeviceConfig dev = makeDeviceConfig(tech);
+    const std::vector<double> margins = {0.01, 0.03, 0.05,
+                                         0.10, 0.15, 0.25};
+    const auto &techs = bench::allTechs();
+
+    // Solve gate-by-gate: at extreme margins even the universal
+    // NAND/NOT pair can collapse, which the GateLibrary constructor
+    // (rightly) refuses — so count with solveGate directly.
+    const auto counts = runner.map(
+        margins.size() * techs.size(), [&](std::size_t i) {
+            const double margin = margins[i / techs.size()];
+            const DeviceConfig dev =
+                makeDeviceConfig(techs[i % techs.size()]);
             std::size_t feasible = 0;
             for (int g = 0; g < kNumGateTypes; ++g) {
                 feasible += solveGate(dev, static_cast<GateType>(g),
                                       margin)
                                 .feasible;
             }
-            std::printf(" %13zu/12", feasible);
+            return feasible;
+        });
+
+    std::printf("Ablation 1: feasible gates vs required noise "
+                "margin\n\n");
+    std::printf("%-10s", "margin");
+    for (TechConfig tech : techs) {
+        std::printf(" %16s",
+                    makeDeviceConfig(tech).name().c_str());
+    }
+    std::printf("\n");
+    bench::printRule(62);
+    for (std::size_t m = 0; m < margins.size(); ++m) {
+        std::printf("%-10.2f", margins[m]);
+        for (std::size_t t = 0; t < techs.size(); ++t) {
+            std::printf(" %13zu/12", counts[m * techs.size() + t]);
         }
         std::printf("\n");
     }
@@ -54,27 +69,33 @@ marginSweep()
 }
 
 void
-capacitorSweep()
+capacitorSweep(const exp::ExperimentRunner &runner)
 {
     std::printf("\nAblation 2: buffer capacitor size @ 60 uW "
                 "(SVM ADULT, Modern STT)\n\n");
-    const auto benchmarks = bench::paperBenchmarks();
-    const auto &b = benchmarks[3];
+    const exp::Benchmark &b = exp::paperBenchmarks()[3];
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    const Trace trace = exp::traceFor(lib, b);
+    const std::vector<double> caps_uf = {10.0, 30.0, 100.0, 300.0,
+                                         1000.0};
+
+    const auto stats =
+        runner.map(caps_uf.size(), [&](std::size_t i) {
+            HarvestConfig harvest;
+            harvest.sourcePower = 60e-6;
+            harvest.capacitanceOverride = caps_uf[i] * 1e-6;
+            return runHarvestedTrace(trace, energy, harvest);
+        });
+
     std::printf("%-12s %14s %12s %14s %12s\n", "cap (uF)",
                 "latency (us)", "outages", "dead E (uJ)",
                 "restore(uJ)");
     bench::printRule(70);
-    for (double cap_uf : {10.0, 30.0, 100.0, 300.0, 1000.0}) {
-        DeviceConfig dev = makeDeviceConfig(TechConfig::ModernStt);
-        dev.bufferCapacitance = cap_uf * 1e-6;
-        const GateLibrary lib(dev);
-        const EnergyModel energy(lib);
-        const Trace trace = bench::traceFor(lib, b);
-        HarvestConfig harvest;
-        harvest.sourcePower = 60e-6;
-        const RunStats s = runHarvestedTrace(trace, energy, harvest);
-        std::printf("%-12.0f %14.0f %12llu %14.4f %12.4f\n", cap_uf,
-                    s.totalTime() * 1e6,
+    for (std::size_t i = 0; i < caps_uf.size(); ++i) {
+        const RunStats &s = stats[i];
+        std::printf("%-12.0f %14.0f %12llu %14.4f %12.4f\n",
+                    caps_uf[i], s.totalTime() * 1e6,
                     static_cast<unsigned long long>(s.outages),
                     s.deadEnergy * 1e6, s.restoreEnergy * 1e6);
     }
@@ -89,7 +110,8 @@ capacitorSweep()
 int
 main()
 {
-    marginSweep();
-    capacitorSweep();
+    const exp::ExperimentRunner runner;
+    marginSweep(runner);
+    capacitorSweep(runner);
     return 0;
 }

@@ -5,6 +5,11 @@
  * resistance / switching-current spread grows — the quantitative
  * backing for the solver's noise-margin knob and the paper's
  * Section II-D claim that SHE improves robustness.
+ *
+ * The (tech x sigma x gate) cells are independent Monte-Carlo jobs:
+ * they fan out over ExperimentRunner::map, each seeded
+ * deterministically from a root seed and its cell index
+ * (exp::deriveSeed), so the table is identical for any thread count.
  */
 
 #include <cstdio>
@@ -18,36 +23,56 @@ int
 main()
 {
     constexpr std::uint64_t kTrials = 40000;
+    constexpr std::uint64_t kRootSeed = 2020;
     const GateType gates[] = {GateType::kNand2, GateType::kNot,
                               GateType::kAnd2, GateType::kNor2};
+    const std::vector<double> sigmas = {0.01, 0.02, 0.05, 0.10,
+                                        0.15};
+    const auto &techs = bench::allTechs();
+    const std::size_t ngate = std::size(gates);
+    const std::size_t cells_per_tech = sigmas.size() * ngate;
+
+    exp::ExperimentRunner runner;
+    const auto rates = runner.map(
+        techs.size() * cells_per_tech, [&](std::size_t i) -> double {
+            const TechConfig tech = techs[i / cells_per_tech];
+            const std::size_t rest = i % cells_per_tech;
+            const double sigma = sigmas[rest / ngate];
+            const GateType g = gates[rest % ngate];
+            const GateLibrary lib(makeDeviceConfig(tech));
+            if (!lib.feasible(g)) {
+                return -1.0;  // n/a
+            }
+            Rng rng(exp::deriveSeed(kRootSeed, i));
+            VariationModel model;
+            model.resistanceSigma = sigma;
+            model.switchingCurrentSigma = sigma;
+            return gateErrorRate(lib, g, model, kTrials, rng)
+                .errorRate();
+        });
 
     std::printf("Gate error rate vs device variation "
                 "(%llu Monte Carlo trials per cell)\n\n",
                 static_cast<unsigned long long>(kTrials));
-    for (TechConfig tech : bench::allTechs()) {
-        const GateLibrary lib(makeDeviceConfig(tech));
-        std::printf("%s\n", lib.config().name().c_str());
+    for (std::size_t t = 0; t < techs.size(); ++t) {
+        std::printf("%s\n",
+                    makeDeviceConfig(techs[t]).name().c_str());
         std::printf("%-8s", "sigma");
         for (GateType g : gates) {
             std::printf(" %11s", gateName(g).c_str());
         }
         std::printf("\n");
         bench::printRule(58);
-        for (double sigma : {0.01, 0.02, 0.05, 0.10, 0.15}) {
-            std::printf("%-8.2f", sigma);
-            for (GateType g : gates) {
-                if (!lib.feasible(g)) {
+        for (std::size_t s = 0; s < sigmas.size(); ++s) {
+            std::printf("%-8.2f", sigmas[s]);
+            for (std::size_t g = 0; g < ngate; ++g) {
+                const double rate =
+                    rates[t * cells_per_tech + s * ngate + g];
+                if (rate < 0.0) {
                     std::printf(" %11s", "n/a");
-                    continue;
+                } else {
+                    std::printf(" %10.4f%%", 100.0 * rate);
                 }
-                Rng rng(static_cast<std::uint64_t>(sigma * 1000) +
-                        static_cast<std::uint64_t>(g) * 131);
-                VariationModel model;
-                model.resistanceSigma = sigma;
-                model.switchingCurrentSigma = sigma;
-                const VariationResult r =
-                    gateErrorRate(lib, g, model, kTrials, rng);
-                std::printf(" %10.4f%%", 100.0 * r.errorRate());
             }
             std::printf("\n");
         }

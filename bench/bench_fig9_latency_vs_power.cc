@@ -3,9 +3,11 @@
  * Figure 9 regeneration: inference latency vs harvested power for
  * every benchmark, on all three MOUSE configurations, against SONIC.
  *
- * One series per (configuration, benchmark): latency in us at each
- * power point from 60 uW to 5 mW.  The paper's qualitative claims
- * to check against the output:
+ * The full (config x benchmark x power) grid runs on the parallel
+ * ExperimentRunner — pass `--threads N` to pick the worker count
+ * (default: hardware concurrency); the table is byte-identical for
+ * any N.  The paper's qualitative claims to check against the
+ * output:
  *   - latency falls roughly as 1/power until the source sustains
  *     continuous operation;
  *   - SHE < Projected STT < Modern STT at every power point;
@@ -13,36 +15,49 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "workloads.hh"
 
 using namespace mouse;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto powers = bench::powerSweep();
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        }
+    }
+
+    exp::SweepGrid grid;
+    grid.techs = names::allTechs();
+    grid.benchmarks = exp::paperBenchmarks();
+    grid.powers = exp::powerSweep();
+    exp::ExperimentRunner runner(threads);
+    const exp::SweepResult res = runner.run(grid);
+
+    const std::size_t nbench = grid.benchmarks.size();
+    const std::size_t npower = grid.powers.size();
 
     std::printf("Figure 9: latency (us) vs power source\n\n");
     std::printf("%-14s %-18s", "config", "benchmark");
-    for (Watts p : powers) {
+    for (Watts p : grid.powers) {
         std::printf(" %11.0fuW", p * 1e6);
     }
     std::printf("\n");
     bench::printRule(120);
 
-    for (TechConfig tech : bench::allTechs()) {
-        const GateLibrary lib(makeDeviceConfig(tech));
-        const EnergyModel energy(lib);
-        for (const auto &b : bench::paperBenchmarks()) {
-            const Trace trace = bench::traceFor(lib, b);
-            std::printf("%-14s %-18s",
-                        lib.config().name().c_str(), b.name.c_str());
-            for (Watts p : powers) {
-                HarvestConfig harvest;
-                harvest.sourcePower = p;
-                const RunStats stats =
-                    runHarvestedTrace(trace, energy, harvest);
+    for (std::size_t t = 0; t < grid.techs.size(); ++t) {
+        const std::string tech_name =
+            makeDeviceConfig(grid.techs[t]).name();
+        for (std::size_t b = 0; b < nbench; ++b) {
+            std::printf("%-14s %-18s", tech_name.c_str(),
+                        grid.benchmarks[b].name.c_str());
+            for (std::size_t p = 0; p < npower; ++p) {
+                const RunStats &stats =
+                    res.points[(t * nbench + b) * npower + p].stats;
                 std::printf(" %13.0f", stats.totalTime() * 1e6);
             }
             std::printf("\n");
@@ -54,7 +69,7 @@ main()
     for (const auto &sb : {sonicMnist(), sonicHar()}) {
         const SonicModel sonic(sb);
         std::printf("%-14s %-18s", "MSP430", sb.name.c_str());
-        for (Watts p : powers) {
+        for (Watts p : grid.powers) {
             std::printf(" %13.0f",
                         sonic.runHarvested(p).totalTime() * 1e6);
         }
@@ -64,5 +79,12 @@ main()
     std::printf("\nShape checks: within each benchmark column, "
                 "Modern STT > Projected STT > SHE,\nand every MOUSE "
                 "row is far below the SONIC rows.\n");
+    // Timing goes to stderr so stdout stays byte-identical across
+    // thread counts and runs.
+    std::fprintf(stderr,
+                 "(%zu grid points in %.1f ms on %u threads, "
+                 "%.0f points/s)\n",
+                 res.points.size(), res.wallSeconds * 1e3,
+                 res.threads, res.pointsPerSecond());
     return 0;
 }

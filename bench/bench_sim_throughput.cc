@@ -1,10 +1,11 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the simulator itself: gate
- * operating-point solving, tile-level functional execution, and
- * trace-level simulation throughput.  These guard against
- * performance regressions that would make the Figure 9 sweeps
- * impractical.
+ * operating-point solving, tile-level functional execution,
+ * trace-level simulation throughput, and the parallel experiment
+ * engine's points/sec on the full Figure-9 grid (serial vs N
+ * threads).  These guard against performance regressions that would
+ * make the Figure 9 sweeps impractical.
  */
 
 #include <benchmark/benchmark.h>
@@ -95,6 +96,41 @@ BM_HarvestedTraceSvmMnist(benchmark::State &state)
         static_cast<std::int64_t>(trace.totalInstructions()));
 }
 BENCHMARK(BM_HarvestedTraceSvmMnist);
+
+/**
+ * The full Figure-9 grid (3 techs x 6 benchmarks x 7 powers = 126
+ * points) through the ExperimentRunner.  Arg = worker threads;
+ * Arg(1) is the serial baseline, so the ratio of the points_per_s
+ * counters is the parallel speedup that lands in BENCH_*.json.
+ */
+void
+BM_Fig9GridPoints(benchmark::State &state)
+{
+    exp::SweepGrid grid;
+    grid.techs = names::allTechs();
+    grid.benchmarks = exp::paperBenchmarks();
+    grid.powers = exp::powerSweep();
+    const exp::ExperimentRunner runner(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        const exp::SweepResult res = runner.run(grid);
+        benchmark::DoNotOptimize(res.points.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(grid.size()));
+    state.counters["points_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * grid.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig9GridPoints)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

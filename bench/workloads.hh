@@ -1,131 +1,38 @@
 /**
  * @file
- * Shared benchmark definitions: the six workloads of the paper's
- * evaluation (Section VIII) with their memory provisioning from
- * Table III, plus helpers to build traces and print tables.
+ * Bench-side view of the shared workload definitions.
+ *
+ * The benchmark table, trace builders, and power sweep now live in
+ * the experiment library (src/exp/workloads.hh, src/exp/names.hh) so
+ * the CLI and the parallel runner share them; this header re-exports
+ * them under mouse::bench for the bench sources and keeps the
+ * table-printing helper that is genuinely bench-only.
  */
 
 #ifndef MOUSE_BENCH_WORKLOADS_HH
 #define MOUSE_BENCH_WORKLOADS_HH
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
 #include "baseline/sonic.hh"
 #include "energy/area_model.hh"
-#include "ml/mapping.hh"
-#include "sim/simulator.hh"
+#include "exp/names.hh"
+#include "exp/runner.hh"
 
 namespace mouse::bench
 {
 
-/** Kind discriminator for the evaluation workloads. */
-enum class WorkloadKind
-{
-    Svm,
-    Bnn,
-};
+using exp::Benchmark;
+using exp::WorkloadKind;
+using exp::paperBenchmarks;
+using exp::powerSweep;
+using exp::traceFor;
 
-/** One benchmark row of the evaluation. */
-struct Benchmark
-{
-    std::string name;
-    WorkloadKind kind;
-    /** Array capacity provisioned (Table III), in MB. */
-    double capacityMB;
-    /** Data tiles (128 KB each) granted to the mapping. */
-    unsigned dataTiles;
-    SvmWorkload svm{};
-    BnnShape bnn{};
-};
-
-/** The paper's six benchmarks with Table III/IV provisioning. */
-inline std::vector<Benchmark>
-paperBenchmarks()
-{
-    std::vector<Benchmark> list;
-
-    Benchmark mnist;
-    mnist.name = "SVM MNIST";
-    mnist.kind = WorkloadKind::Svm;
-    mnist.capacityMB = 64;
-    mnist.dataTiles = 448;  // 64 MB minus instruction tiles
-    mnist.svm = SvmWorkload{"SVM MNIST", 11813, 784, 8, 10,
-                            24, 32, 8, 40};
-    list.push_back(mnist);
-
-    Benchmark mnist_bin;
-    mnist_bin.name = "SVM MNIST (Bin)";
-    mnist_bin.kind = WorkloadKind::Svm;
-    mnist_bin.capacityMB = 8;
-    mnist_bin.dataTiles = 56;
-    mnist_bin.svm = SvmWorkload{"SVM MNIST (Bin)", 12214, 784, 1, 10,
-                                11, 22, 8, 30};
-    list.push_back(mnist_bin);
-
-    Benchmark har;
-    har.name = "SVM HAR";
-    har.kind = WorkloadKind::Svm;
-    har.capacityMB = 16;
-    har.dataTiles = 112;
-    har.svm = SvmWorkload{"SVM HAR", 2809, 561, 8, 6, 24, 32, 8, 40};
-    list.push_back(har);
-
-    Benchmark adult;
-    adult.name = "SVM ADULT";
-    adult.kind = WorkloadKind::Svm;
-    adult.capacityMB = 1;
-    adult.dataTiles = 7;
-    adult.svm = SvmWorkload{"SVM ADULT", 1909, 15, 8, 2, 20, 28, 8,
-                            36};
-    list.push_back(adult);
-
-    Benchmark finn;
-    finn.name = "BNN FINN MNIST";
-    finn.kind = WorkloadKind::Bnn;
-    finn.capacityMB = 8;
-    finn.dataTiles = 56;
-    finn.bnn = finnShape();
-    list.push_back(finn);
-
-    Benchmark fpbnn;
-    fpbnn.name = "BNN FP-BNN MNIST";
-    fpbnn.kind = WorkloadKind::Bnn;
-    fpbnn.capacityMB = 16;
-    fpbnn.dataTiles = 112;
-    fpbnn.bnn = fpBnnShape();
-    list.push_back(fpbnn);
-
-    return list;
-}
-
-/** Compressed trace of one inference of @p bench on @p lib. */
-inline Trace
-traceFor(const GateLibrary &lib, const Benchmark &bench,
-         MappingInfo *info = nullptr)
-{
-    MouseShape shape;
-    shape.numDataTiles = bench.dataTiles;
-    if (bench.kind == WorkloadKind::Svm) {
-        return buildSvmTrace(lib, bench.svm, shape, info);
-    }
-    return buildBnnTrace(lib, bench.bnn, shape, info);
-}
-
-/** All three technology configurations. */
-inline std::vector<TechConfig>
+/** The three technology configurations, in paper order. */
+inline const std::vector<TechConfig> &
 allTechs()
 {
-    return {TechConfig::ModernStt, TechConfig::ProjectedStt,
-            TechConfig::ProjectedShe};
-}
-
-/** The paper's power sweep: 60 uW (body heat) to 5 mW (Powercast). */
-inline std::vector<Watts>
-powerSweep()
-{
-    return {60e-6, 100e-6, 200e-6, 500e-6, 1e-3, 2e-3, 5e-3};
+    return names::allTechs();
 }
 
 inline void

@@ -1,5 +1,9 @@
 #include "accelerator.hh"
 
+#include <chrono>
+
+#include "common/logging.hh"
+
 namespace mouse
 {
 
@@ -21,29 +25,85 @@ Accelerator::loadProgram(const Program &prog)
     controller_->reset();
 }
 
+RunResult
+Accelerator::execute(const RunRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult res;
+    const bool harvested = req.power == PowerMode::Harvested;
+    if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
+        mouse_fatal("RunRequest with Trace fidelity needs a trace");
+    }
+    switch (req.fidelity) {
+      case Fidelity::Functional:
+        res.stats = harvested
+                        ? runHarvestedFunctional(*controller_,
+                                                 req.harvest)
+                        : runContinuousFunctional(*controller_);
+        break;
+      case Fidelity::Trace:
+        res.stats = harvested
+                        ? runHarvestedTrace(*req.trace, *energy_,
+                                            req.harvest)
+                        : runContinuousTrace(*req.trace, *energy_);
+        break;
+    }
+    res.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    res.meta.tech = lib_->config().name();
+    res.meta.margin = cfg_.gateMargin;
+    res.meta.label = req.label;
+    if (harvested) {
+        res.meta.sourcePower = req.harvest.sourcePower;
+        res.meta.seed = req.harvest.seed;
+        res.meta.checkpointPeriod = req.harvest.checkpointPeriod;
+    }
+    return res;
+}
+
 RunStats
 Accelerator::runContinuous()
 {
-    return runContinuousFunctional(*controller_);
+    RunRequest req;
+    req.fidelity = Fidelity::Functional;
+    req.power = PowerMode::Continuous;
+    return execute(req).stats;
 }
 
 RunStats
 Accelerator::runHarvested(const HarvestConfig &harvest)
 {
-    return runHarvestedFunctional(*controller_, harvest);
+    RunRequest req;
+    req.fidelity = Fidelity::Functional;
+    req.power = PowerMode::Harvested;
+    req.harvest = harvest;
+    return execute(req).stats;
 }
 
 RunStats
 Accelerator::simulateContinuous(const Trace &trace) const
 {
-    return runContinuousTrace(trace, *energy_);
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.power = PowerMode::Continuous;
+    req.trace = &trace;
+    // Trace fidelity touches only the const EnergyModel, so routing
+    // the const shims through the non-const execute() is safe.
+    return const_cast<Accelerator *>(this)->execute(req).stats;
 }
 
 RunStats
 Accelerator::simulateHarvested(const Trace &trace,
                                const HarvestConfig &harvest) const
 {
-    return runHarvestedTrace(trace, *energy_, harvest);
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.power = PowerMode::Harvested;
+    req.harvest = harvest;
+    req.trace = &trace;
+    return const_cast<Accelerator *>(this)->execute(req).stats;
 }
 
 } // namespace mouse

@@ -4,17 +4,17 @@
  *
  * An Accelerator bundles one device configuration (Modern STT /
  * Projected STT / Projected SHE) with a tile grid, instruction
- * memory, controller, and energy model, exposing the four execution
- * modes the paper evaluates:
- *
- *   - loadProgram() + runContinuous()          functional, wall power
- *   - loadProgram() + runHarvested()           functional, harvesting
- *   - simulateContinuous(trace)                performance model
- *   - simulateHarvested(trace, harvest)        performance model
+ * memory, controller, and energy model.  The four execution modes
+ * the paper evaluates — {functional, trace} x {continuous,
+ * harvested} — are selected declaratively by a RunRequest given to
+ * execute(); the four named methods (runContinuous, runHarvested,
+ * simulateContinuous, simulateHarvested) remain as thin shims over
+ * it.
  *
  * A typical downstream user writes a kernel with KernelBuilder (or
  * maps an SVM/BNN with ml/mapping.hh), loads it, and reads stats and
- * tile contents back.  See examples/quickstart.cpp.
+ * tile contents back.  See examples/quickstart.cpp and
+ * docs/EXPERIMENTS_API.md.
  */
 
 #ifndef MOUSE_CORE_ACCELERATOR_HH
@@ -24,6 +24,7 @@
 
 #include "compile/builder.hh"
 #include "controller/controller.hh"
+#include "core/run_api.hh"
 #include "sim/simulator.hh"
 
 namespace mouse
@@ -57,6 +58,17 @@ class Accelerator
     /** Write a program into the instruction tiles and reset the PC
      *  (the pre-deployment step of Section IV-B). */
     void loadProgram(const Program &prog);
+
+    /**
+     * Run one simulation described by @p req.
+     *
+     * Functional fidelity executes the loaded program on the
+     * bit-exact machine; Trace fidelity requires req.trace.  The
+     * result carries the RunStats plus wall-clock and metadata.
+     */
+    RunResult execute(const RunRequest &req);
+
+    // -- Legacy entry points: thin shims over execute() -------------
 
     /** Functional run to HALT under continuous power. */
     RunStats runContinuous();

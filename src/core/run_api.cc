@@ -1,0 +1,107 @@
+#include "run_api.hh"
+
+#include <cstdio>
+
+namespace mouse
+{
+
+namespace
+{
+
+/** Shortest-round-trip double formatting for machine consumers. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+toJson(const RunStats &stats)
+{
+    std::string j = "{";
+    j += "\"instructions_committed\":" +
+         num(stats.instructionsCommitted);
+    j += ",\"instructions_dead\":" + num(stats.instructionsDead);
+    j += ",\"outages\":" + num(stats.outages);
+    j += ",\"active_time_s\":" + num(stats.activeTime);
+    j += ",\"dead_time_s\":" + num(stats.deadTime);
+    j += ",\"restore_time_s\":" + num(stats.restoreTime);
+    j += ",\"charging_time_s\":" + num(stats.chargingTime);
+    j += ",\"total_time_s\":" + num(stats.totalTime());
+    j += ",\"compute_energy_j\":" + num(stats.computeEnergy);
+    j += ",\"backup_energy_j\":" + num(stats.backupEnergy);
+    j += ",\"dead_energy_j\":" + num(stats.deadEnergy);
+    j += ",\"restore_energy_j\":" + num(stats.restoreEnergy);
+    j += ",\"idle_energy_j\":" + num(stats.idleEnergy);
+    j += ",\"total_energy_j\":" + num(stats.totalEnergy());
+    j += "}";
+    return j;
+}
+
+std::string
+RunResult::toJson() const
+{
+    std::string j = "{";
+    j += "\"point\":{";
+    j += "\"index\":" + num(static_cast<std::uint64_t>(meta.index));
+    j += ",\"tech\":\"" + jsonEscape(meta.tech) + "\"";
+    j += ",\"benchmark\":\"" + jsonEscape(meta.benchmark) + "\"";
+    j += ",\"power_w\":" + num(meta.sourcePower);
+    j += ",\"seed\":" + num(meta.seed);
+    j += ",\"checkpoint_period\":" +
+         num(static_cast<std::uint64_t>(meta.checkpointPeriod));
+    j += ",\"margin\":" + num(meta.margin);
+    j += ",\"label\":\"" + jsonEscape(meta.label) + "\"";
+    j += "},";
+    j += "\"wall_seconds\":" + num(wallSeconds);
+    j += ",\"stats\":" + mouse::toJson(stats);
+    j += "}";
+    return j;
+}
+
+} // namespace mouse

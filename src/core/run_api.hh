@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The unified execution API.
+ *
+ * The paper's evaluation exercises four run modes — functional or
+ * trace fidelity, continuous or harvested power — which historically
+ * had four differently-shaped entry points.  A RunRequest names one
+ * of those modes declaratively; Accelerator::execute() accepts it and
+ * returns a RunResult that wraps the RunStats together with the host
+ * wall-clock cost and the metadata of the grid point that produced it
+ * (filled in by the ExperimentRunner for sweeps, or minimally by
+ * execute() itself for one-off runs).
+ *
+ * RunResult serializes to JSON so benches, the CLI (`--json`) and CI
+ * can diff results without scraping printf tables.
+ */
+
+#ifndef MOUSE_CORE_RUN_API_HH
+#define MOUSE_CORE_RUN_API_HH
+
+#include <cstdint>
+#include <string>
+
+#include "compile/program.hh"
+#include "sim/simulator.hh"
+
+namespace mouse
+{
+
+/** Simulation fidelity (see sim/simulator.hh). */
+enum class Fidelity
+{
+    /** Bit-exact machine, real restart protocol. */
+    Functional,
+    /** Compressed-trace performance model. */
+    Trace,
+};
+
+/** Power environment of a run. */
+enum class PowerMode
+{
+    /** Wall power: the run never sees an outage. */
+    Continuous,
+    /** Energy-harvesting environment (capacitor + source). */
+    Harvested,
+};
+
+/** Declarative description of one simulation run. */
+struct RunRequest
+{
+    Fidelity fidelity = Fidelity::Functional;
+    PowerMode power = PowerMode::Continuous;
+    /** Harvesting environment; ignored under Continuous. */
+    HarvestConfig harvest{};
+    /**
+     * Trace to simulate; required for Trace fidelity, ignored for
+     * Functional (which runs the loaded program).  Non-owning: the
+     * trace must outlive the execute() call.
+     */
+    const Trace *trace = nullptr;
+    /** Free-form tag echoed into the result's metadata. */
+    std::string label;
+};
+
+/** Identity of the sweep-grid point a result belongs to. */
+struct PointMeta
+{
+    /** Position in the grid's canonical order (0 for one-off runs). */
+    std::size_t index = 0;
+    std::string tech;
+    std::string benchmark;
+    /** Harvester power; 0 means continuous power. */
+    Watts sourcePower = 0.0;
+    /** Outage-schedule seed the run actually used. */
+    std::uint64_t seed = 0;
+    unsigned checkpointPeriod = 1;
+    /** Gate noise margin of the library the run used. */
+    double margin = 0.0;
+    std::string label;
+};
+
+/** Outcome of one run: simulation stats plus provenance. */
+struct RunResult
+{
+    RunStats stats;
+    /** Host wall-clock time spent simulating, in seconds. */
+    double wallSeconds = 0.0;
+    PointMeta meta;
+
+    /** Single-line JSON object (stats + meta + wall clock). */
+    std::string toJson() const;
+};
+
+/** JSON object for a RunStats (used by RunResult::toJson). */
+std::string toJson(const RunStats &stats);
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace mouse
+
+#endif // MOUSE_CORE_RUN_API_HH

@@ -1,0 +1,64 @@
+#include "names.hh"
+
+namespace mouse::names
+{
+
+std::optional<TechConfig>
+parseTech(const std::string &key)
+{
+    if (key == "modern-stt") {
+        return TechConfig::ModernStt;
+    }
+    if (key == "projected-stt") {
+        return TechConfig::ProjectedStt;
+    }
+    if (key == "she") {
+        return TechConfig::ProjectedShe;
+    }
+    return std::nullopt;
+}
+
+const char *
+techName(TechConfig tech)
+{
+    switch (tech) {
+      case TechConfig::ModernStt:
+        return "modern-stt";
+      case TechConfig::ProjectedStt:
+        return "projected-stt";
+      case TechConfig::ProjectedShe:
+        return "she";
+    }
+    return "unknown";
+}
+
+const std::vector<TechConfig> &
+allTechs()
+{
+    static const std::vector<TechConfig> techs = {
+        TechConfig::ModernStt, TechConfig::ProjectedStt,
+        TechConfig::ProjectedShe};
+    return techs;
+}
+
+const std::vector<std::string> &
+listBenchmarks()
+{
+    static const std::vector<std::string> keys = {
+        "mnist", "mnist-bin", "har", "adult", "finn", "fpbnn"};
+    return keys;
+}
+
+std::optional<std::size_t>
+benchmarkIndex(const std::string &key)
+{
+    const auto &keys = listBenchmarks();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == key) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace mouse::names

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Canonical short names for techs and benchmarks.
+ *
+ * The CLI, the benches, and the experiment runner all need the same
+ * stable keys ("modern-stt", "mnist-bin", ...) for parsing flags and
+ * labelling machine-readable output.  This is the one place they are
+ * defined; display names stay with DeviceConfig::name() and
+ * exp::Benchmark::name.
+ */
+
+#ifndef MOUSE_EXP_NAMES_HH
+#define MOUSE_EXP_NAMES_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/mtj_params.hh"
+
+namespace mouse::names
+{
+
+/** Short key ("modern-stt" | "projected-stt" | "she") -> tech. */
+std::optional<TechConfig> parseTech(const std::string &key);
+
+/** Short CLI key of @p tech. */
+const char *techName(TechConfig tech);
+
+/** The three technology configurations, in paper order. */
+const std::vector<TechConfig> &allTechs();
+
+/** Benchmark keys, index-aligned with exp::paperBenchmarks(). */
+const std::vector<std::string> &listBenchmarks();
+
+/** Key -> index into exp::paperBenchmarks(). */
+std::optional<std::size_t> benchmarkIndex(const std::string &key);
+
+} // namespace mouse::names
+
+#endif // MOUSE_EXP_NAMES_HH

@@ -1,0 +1,188 @@
+#include "runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "exp/names.hh"
+
+namespace mouse::exp
+{
+
+namespace
+{
+
+double
+elapsed(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(unsigned threads)
+    : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+    }
+    if (threads_ == 0) {
+        threads_ = 1;
+    }
+}
+
+void
+ExperimentRunner::forEach(
+    std::size_t count,
+    const std::function<void(std::size_t)> &fn) const
+{
+    if (count == 0) {
+        return;
+    }
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back(worker);
+    }
+    for (auto &t : pool) {
+        t.join();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+SweepResult
+ExperimentRunner::run(const SweepGrid &grid) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (grid.benchmarks.empty()) {
+        mouse_fatal("sweep grid has no benchmarks");
+    }
+    const std::size_t total = grid.size();
+
+    // Shared immutable contexts: one gate library + energy model per
+    // (tech, margin), one trace per (tech, margin, benchmark).  Both
+    // levels are themselves built in parallel, then only read during
+    // the point runs.
+    struct Context
+    {
+        std::unique_ptr<GateLibrary> lib;
+        std::unique_ptr<EnergyModel> energy;
+    };
+    const std::size_t nctx = grid.techs.size() * grid.margins.size();
+    std::vector<Context> contexts(nctx);
+    forEach(nctx, [&](std::size_t i) {
+        const TechConfig tech = grid.techs[i / grid.margins.size()];
+        const double margin = grid.margins[i % grid.margins.size()];
+        contexts[i].lib = std::make_unique<GateLibrary>(
+            makeDeviceConfig(tech), margin);
+        contexts[i].energy =
+            std::make_unique<EnergyModel>(*contexts[i].lib);
+    });
+
+    const std::size_t nbench = grid.benchmarks.size();
+    std::vector<Trace> traces(nctx * nbench);
+    forEach(traces.size(), [&](std::size_t i) {
+        traces[i] = traceFor(*contexts[i / nbench].lib,
+                             grid.benchmarks[i % nbench]);
+    });
+
+    SweepResult result;
+    result.grid = grid;
+    result.threads = threads_;
+    result.points = map(total, [&](std::size_t i) {
+        const SweepPoint point = grid.at(i);
+        // Locate the shared context by re-doing the mixed-radix
+        // decode on the axis indices (at() returns values, and
+        // margins may repeat a value).
+        std::size_t rest = i / grid.seedsPerPoint;
+        const std::size_t margin_index = rest % grid.margins.size();
+        rest /= grid.margins.size();
+        rest /= grid.checkpointPeriods.size();
+        rest /= grid.powers.size();
+        const std::size_t tech_index = rest / grid.benchmarks.size();
+        const std::size_t ctx =
+            tech_index * grid.margins.size() + margin_index;
+        const Trace &trace = traces[ctx * nbench + point.benchmark];
+        const EnergyModel &energy = *contexts[ctx].energy;
+
+        const auto p0 = std::chrono::steady_clock::now();
+        RunResult r;
+        if (point.continuous()) {
+            r.stats = runContinuousTrace(trace, energy);
+        } else {
+            r.stats = runHarvestedTrace(trace, energy,
+                                        grid.harvestFor(point));
+        }
+        r.wallSeconds = elapsed(p0);
+        r.meta.index = point.index;
+        r.meta.tech = names::techName(point.tech);
+        r.meta.benchmark = grid.benchmarks[point.benchmark].name;
+        r.meta.sourcePower = point.continuous() ? 0.0 : point.power;
+        r.meta.seed = point.seed;
+        r.meta.checkpointPeriod = point.checkpointPeriod;
+        r.meta.margin = point.margin;
+        return r;
+    });
+    result.wallSeconds = elapsed(t0);
+    return result;
+}
+
+std::string
+SweepResult::toJson() const
+{
+    std::string j = "{";
+    j += "\"threads\":" + std::to_string(threads);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", wallSeconds);
+    j += ",\"wall_seconds\":";
+    j += buf;
+    j += ",\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0) {
+            j += ",";
+        }
+        j += points[i].toJson();
+    }
+    j += "]}";
+    return j;
+}
+
+} // namespace mouse::exp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * ExperimentRunner fans the points of a SweepGrid out across a fixed
+ * pool of worker threads (work is stolen from a shared atomic
+ * cursor) and aggregates the RunResults into an index-keyed
+ * SweepResult table.  Determinism is by construction: a point's
+ * inputs — shared immutable GateLibrary/EnergyModel/Trace contexts
+ * plus a seed derived from (rootSeed, index) — depend only on its
+ * grid index, never on the thread or schedule, so an N-thread run is
+ * bit-identical to a serial one.
+ *
+ * The generic forEach()/map() primitives are public so benches can
+ * parallelize sweeps whose per-point work is not a plain trace
+ * simulation (Monte-Carlo variation trials, capacitor sweeps, ...).
+ */
+
+#ifndef MOUSE_EXP_RUNNER_HH
+#define MOUSE_EXP_RUNNER_HH
+
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "core/accelerator.hh"
+#include "exp/sweep.hh"
+
+namespace mouse::exp
+{
+
+/** Index-keyed table of sweep results. */
+struct SweepResult
+{
+    /** The grid that produced the results (axis labels). */
+    SweepGrid grid;
+    /** One result per grid point, in canonical grid order. */
+    std::vector<RunResult> points;
+    /** Wall-clock of the whole sweep, including context building. */
+    double wallSeconds = 0.0;
+    /** Worker threads the sweep ran on. */
+    unsigned threads = 1;
+
+    /** Points per second of wall-clock. */
+    double
+    pointsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(points.size()) / wallSeconds
+                   : 0.0;
+    }
+
+    /** JSON document: {"threads":..,"wall_seconds":..,"points":[..]}. */
+    std::string toJson() const;
+};
+
+/** Fixed-pool parallel runner with deterministic aggregation. */
+class ExperimentRunner
+{
+  public:
+    /** @param threads Worker count; 0 means hardware_concurrency. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    unsigned
+    threads() const
+    {
+        return threads_;
+    }
+
+    /**
+     * Invoke fn(i) for every i in [0, count), distributing indices
+     * across the pool; blocks until all complete.  fn must not
+     * mutate shared state without its own synchronization.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const;
+
+    /** Ordered parallel map: out[i] = fn(i). */
+    template <typename F>
+    auto
+    map(std::size_t count, F &&fn) const
+        -> std::vector<std::invoke_result_t<F &, std::size_t>>
+    {
+        std::vector<std::invoke_result_t<F &, std::size_t>> out(
+            count);
+        forEach(count,
+                [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Run every point of @p grid and collect the index-keyed result
+     * table.  Shared per-(tech, margin) gate libraries and
+     * per-(tech, margin, benchmark) traces are built once (also in
+     * parallel) and read concurrently by the point runs.
+     */
+    SweepResult run(const SweepGrid &grid) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace mouse::exp
+
+#endif // MOUSE_EXP_RUNNER_HH

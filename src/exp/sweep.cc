@@ -1,0 +1,72 @@
+#include "sweep.hh"
+
+#include "common/logging.hh"
+
+namespace mouse::exp
+{
+
+std::uint64_t
+deriveSeed(std::uint64_t rootSeed, std::uint64_t index)
+{
+    // One SplitMix64 step at stream position `index + 1`; matches the
+    // seeding idiom of common/rng.hh so nearby indices diverge
+    // immediately.
+    std::uint64_t z =
+        rootSeed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::size_t
+SweepGrid::size() const
+{
+    return techs.size() * benchmarks.size() * powers.size() *
+           checkpointPeriods.size() * margins.size() * seedsPerPoint;
+}
+
+SweepPoint
+SweepGrid::at(std::size_t index) const
+{
+    if (techs.empty() || benchmarks.empty() || powers.empty() ||
+        checkpointPeriods.empty() || margins.empty() ||
+        seedsPerPoint == 0) {
+        mouse_fatal("sweep grid has an empty axis");
+    }
+    if (index >= size()) {
+        mouse_fatal("sweep point %zu out of range (grid has %zu)",
+                    index, size());
+    }
+    SweepPoint p;
+    p.index = index;
+    p.seed = deriveSeed(rootSeed, index);
+
+    // Mixed-radix decode, fastest axis last in the declaration
+    // order: tech, benchmark, power, checkpointPeriod, margin, seed.
+    std::size_t rest = index;
+    p.seedSlot = rest % seedsPerPoint;
+    rest /= seedsPerPoint;
+    p.margin = margins[rest % margins.size()];
+    rest /= margins.size();
+    p.checkpointPeriod =
+        checkpointPeriods[rest % checkpointPeriods.size()];
+    rest /= checkpointPeriods.size();
+    p.power = powers[rest % powers.size()];
+    rest /= powers.size();
+    p.benchmark = rest % benchmarks.size();
+    rest /= benchmarks.size();
+    p.tech = techs[rest];
+    return p;
+}
+
+HarvestConfig
+SweepGrid::harvestFor(const SweepPoint &point) const
+{
+    HarvestConfig harvest = harvestBase;
+    harvest.sourcePower = point.power;
+    harvest.checkpointPeriod = point.checkpointPeriod;
+    harvest.seed = point.seed;
+    return harvest;
+}
+
+} // namespace mouse::exp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Declarative sweep grids.
+ *
+ * Every headline result in the paper is a grid of independent
+ * simulations (Figure 9 alone is 3 techs x 6 benchmarks x a power
+ * sweep; the ablations add checkpoint periods, gate margins, and
+ * Monte-Carlo seeds).  A SweepGrid names those axes declaratively;
+ * the cartesian product is enumerated in a canonical mixed-radix
+ * order (tech slowest, seed slot fastest) so a point's index — not
+ * the thread that happens to run it — identifies it.
+ *
+ * Per-point RNG seeds are derived with a SplitMix64 step from the
+ * grid's root seed and the point index, so results are bit-identical
+ * regardless of thread count or schedule.
+ */
+
+#ifndef MOUSE_EXP_SWEEP_HH
+#define MOUSE_EXP_SWEEP_HH
+
+#include <cstdint>
+
+#include "exp/workloads.hh"
+#include "logic/gate_solver.hh"
+
+namespace mouse::exp
+{
+
+/** Deterministic per-point seed: SplitMix64(root, index). */
+std::uint64_t deriveSeed(std::uint64_t rootSeed, std::uint64_t index);
+
+/** Coordinates of one grid point (decoded from its index). */
+struct SweepPoint
+{
+    std::size_t index = 0;
+    TechConfig tech = TechConfig::ModernStt;
+    /** Index into the grid's benchmarks vector. */
+    std::size_t benchmark = 0;
+    /** Harvester power; <= 0 means continuous power. */
+    Watts power = 0.0;
+    unsigned checkpointPeriod = 1;
+    double margin = kDefaultGateMargin;
+    /** Position along the Monte-Carlo seed axis. */
+    std::size_t seedSlot = 0;
+    /** Derived outage-schedule seed for this point. */
+    std::uint64_t seed = 0;
+
+    bool
+    continuous() const
+    {
+        return power <= 0.0;
+    }
+};
+
+/** Continuous-power marker for SweepGrid::powers. */
+constexpr Watts kContinuousPower = 0.0;
+
+/** A cartesian sweep over the experiment axes. */
+struct SweepGrid
+{
+    std::vector<TechConfig> techs{TechConfig::ModernStt};
+    std::vector<Benchmark> benchmarks;
+    /** Harvester powers; kContinuousPower entries run on wall
+     *  power. */
+    std::vector<Watts> powers{kContinuousPower};
+    std::vector<unsigned> checkpointPeriods{1};
+    std::vector<double> margins{kDefaultGateMargin};
+    /** Monte-Carlo axis: independent derived seeds per point. */
+    std::size_t seedsPerPoint = 1;
+    /** Root of the per-point seed derivation. */
+    std::uint64_t rootSeed = 1;
+    /** Template for harvested points; power, checkpoint period and
+     *  seed are overridden per point. */
+    HarvestConfig harvestBase{};
+
+    /** Number of grid points (product of the axis lengths). */
+    std::size_t size() const;
+
+    /** Decode @p index into its coordinates.
+     *  @pre index < size() and no axis is empty. */
+    SweepPoint at(std::size_t index) const;
+
+    /** Harvesting environment for @p point (harvested points). */
+    HarvestConfig harvestFor(const SweepPoint &point) const;
+};
+
+} // namespace mouse::exp
+
+#endif // MOUSE_EXP_SWEEP_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the unified RunRequest/RunResult API: every legacy
+ * Accelerator entry point must return stats identical to its
+ * execute() equivalent, and RunResult must serialize to JSON with
+ * the documented keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hh"
+
+namespace mouse
+{
+namespace
+{
+
+MouseConfig
+smallConfig()
+{
+    MouseConfig cfg;
+    cfg.tech = TechConfig::ProjectedStt;
+    cfg.array.tileRows = 128;
+    cfg.array.tileCols = 8;
+    cfg.array.numDataTiles = 2;
+    cfg.array.numInstructionTiles = 512;
+    return cfg;
+}
+
+Program
+adderProgram(const Accelerator &acc)
+{
+    KernelBuilder kb(acc.gateLibrary(), acc.config().array, 0, 16);
+    kb.activate(0, 3);
+    const Word a = kb.pinnedWord(0, 4);
+    const Word b = kb.pinnedWord(8, 4);
+    (void)kb.add(a, b);
+    return kb.finish();
+}
+
+void
+expectSameStats(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.instructionsCommitted, b.instructionsCommitted);
+    EXPECT_EQ(a.instructionsDead, b.instructionsDead);
+    EXPECT_EQ(a.outages, b.outages);
+    EXPECT_EQ(a.activeTime, b.activeTime);
+    EXPECT_EQ(a.deadTime, b.deadTime);
+    EXPECT_EQ(a.restoreTime, b.restoreTime);
+    EXPECT_EQ(a.chargingTime, b.chargingTime);
+    EXPECT_EQ(a.computeEnergy, b.computeEnergy);
+    EXPECT_EQ(a.backupEnergy, b.backupEnergy);
+    EXPECT_EQ(a.deadEnergy, b.deadEnergy);
+    EXPECT_EQ(a.restoreEnergy, b.restoreEnergy);
+    EXPECT_EQ(a.idleEnergy, b.idleEnergy);
+}
+
+TEST(RunApi, ExecuteMatchesRunContinuous)
+{
+    Accelerator legacy(smallConfig());
+    const Program prog = adderProgram(legacy);
+    legacy.loadProgram(prog);
+    const RunStats want = legacy.runContinuous();
+
+    Accelerator unified(smallConfig());
+    unified.loadProgram(prog);
+    RunRequest req;
+    req.fidelity = Fidelity::Functional;
+    req.power = PowerMode::Continuous;
+    const RunResult got = unified.execute(req);
+    expectSameStats(want, got.stats);
+    EXPECT_GE(got.wallSeconds, 0.0);
+    EXPECT_FALSE(got.meta.tech.empty());
+}
+
+TEST(RunApi, ExecuteMatchesRunHarvested)
+{
+    HarvestConfig harvest;
+    harvest.sourcePower = 2e-6;
+    harvest.seed = 99;
+
+    Accelerator legacy(smallConfig());
+    const Program prog = adderProgram(legacy);
+    legacy.loadProgram(prog);
+    const RunStats want = legacy.runHarvested(harvest);
+
+    Accelerator unified(smallConfig());
+    unified.loadProgram(prog);
+    RunRequest req;
+    req.fidelity = Fidelity::Functional;
+    req.power = PowerMode::Harvested;
+    req.harvest = harvest;
+    const RunResult got = unified.execute(req);
+    expectSameStats(want, got.stats);
+    EXPECT_EQ(got.meta.seed, 99u);
+    EXPECT_EQ(got.meta.sourcePower, 2e-6);
+}
+
+TEST(RunApi, ExecuteMatchesSimulateContinuousAndHarvested)
+{
+    Accelerator acc(smallConfig());
+    const Program prog = adderProgram(acc);
+    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+
+    const RunStats want_cont = acc.simulateContinuous(trace);
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.power = PowerMode::Continuous;
+    req.trace = &trace;
+    expectSameStats(want_cont, acc.execute(req).stats);
+
+    HarvestConfig harvest;
+    harvest.sourcePower = 1e-3;
+    const RunStats want_harv = acc.simulateHarvested(trace, harvest);
+    req.power = PowerMode::Harvested;
+    req.harvest = harvest;
+    expectSameStats(want_harv, acc.execute(req).stats);
+}
+
+TEST(RunApi, LabelIsEchoedIntoMeta)
+{
+    Accelerator acc(smallConfig());
+    const Program prog = adderProgram(acc);
+    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.trace = &trace;
+    req.label = "point-7";
+    EXPECT_EQ(acc.execute(req).meta.label, "point-7");
+}
+
+TEST(RunApi, JsonCarriesStatsAndMeta)
+{
+    Accelerator acc(smallConfig());
+    const Program prog = adderProgram(acc);
+    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.trace = &trace;
+    req.label = "json \"probe\"";
+    const RunResult res = acc.execute(req);
+    const std::string j = res.toJson();
+    EXPECT_NE(j.find("\"instructions_committed\":"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"total_energy_j\":"), std::string::npos);
+    EXPECT_NE(j.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(j.find("\"tech\":\"Projected STT\""),
+              std::string::npos);
+    // Quotes in labels must be escaped.
+    EXPECT_NE(j.find("json \\\"probe\\\""), std::string::npos);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+}
+
+TEST(RunApi, TraceFidelityWithoutTraceDies)
+{
+    Accelerator acc(smallConfig());
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    EXPECT_EXIT(acc.execute(req), testing::ExitedWithCode(1),
+                "needs a trace");
+}
+
+} // namespace
+} // namespace mouse

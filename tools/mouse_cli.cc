@@ -3,16 +3,22 @@
  * mouse_cli — command-line driver for the MOUSE simulator.
  *
  * Subcommands:
- *   info    [--tech T]                  device + gate operating points
- *   bench   NAME [--tech T] [--power W] [--continuous]
+ *   info    [--tech T] [--json]         device + gate operating points
+ *   bench   NAME [--tech T] [--power W] [--continuous] [--json]
  *                                       run one paper benchmark
- *   sweep   NAME [--tech T]             Figure-9-style power sweep
+ *   sweep   NAME [--tech T] [--threads N] [--json]
+ *                                       Figure-9-style power sweep on
+ *                                       the parallel experiment runner
  *   analyze NAME [--tech T]             static forward-progress report
  *   area    MB   [--tech T]             Table-III area query
  *   list                                benchmark and tech names
  *
  * Tech names: modern-stt (default), projected-stt, she.
  * Benchmark names: mnist, mnist-bin, har, adult, finn, fpbnn.
+ *
+ * --json prints machine-readable RunResult/SweepResult serializations
+ * so benches and CI can diff results without scraping tables.  Sweep
+ * point results are byte-identical for any --threads value.
  */
 
 #include <cstdio>
@@ -21,8 +27,9 @@
 #include <string>
 
 #include "energy/area_model.hh"
+#include "exp/names.hh"
+#include "exp/runner.hh"
 #include "sim/termination.hh"
-#include "../bench/workloads.hh"
 
 using namespace mouse;
 
@@ -35,9 +42,10 @@ usage()
     std::fprintf(
         stderr,
         "usage: mouse_cli <command> [args]\n"
-        "  info    [--tech T]\n"
-        "  bench   NAME [--tech T] [--power WATTS] [--continuous]\n"
-        "  sweep   NAME [--tech T]\n"
+        "  info    [--tech T] [--json]\n"
+        "  bench   NAME [--tech T] [--power WATTS] [--continuous] "
+        "[--json]\n"
+        "  sweep   NAME [--tech T] [--threads N] [--json]\n"
         "  analyze NAME [--tech T]\n"
         "  area    MB [--tech T]\n"
         "  list\n"
@@ -46,41 +54,15 @@ usage()
     return 2;
 }
 
-std::optional<TechConfig>
-parseTech(const std::string &name)
-{
-    if (name == "modern-stt") {
-        return TechConfig::ModernStt;
-    }
-    if (name == "projected-stt") {
-        return TechConfig::ProjectedStt;
-    }
-    if (name == "she") {
-        return TechConfig::ProjectedShe;
-    }
-    return std::nullopt;
-}
-
-std::optional<bench::Benchmark>
-parseBenchmark(const std::string &name)
-{
-    const char *keys[] = {"mnist", "mnist-bin", "har",
-                          "adult", "finn",      "fpbnn"};
-    const auto all = bench::paperBenchmarks();
-    for (std::size_t i = 0; i < all.size(); ++i) {
-        if (name == keys[i]) {
-            return all[i];
-        }
-    }
-    return std::nullopt;
-}
-
 /** Parsed common flags. */
 struct Options
 {
     TechConfig tech = TechConfig::ModernStt;
     Watts power = 60e-6;
     bool continuous = false;
+    bool json = false;
+    /** Worker threads for sweep; 0 = hardware_concurrency. */
+    unsigned threads = 0;
 };
 
 bool
@@ -88,20 +70,34 @@ parseFlags(int argc, char **argv, int start, Options &opts)
 {
     for (int i = start; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--tech") && i + 1 < argc) {
-            const auto tech = parseTech(argv[++i]);
+            const auto tech = names::parseTech(argv[++i]);
             if (!tech) {
                 std::fprintf(stderr, "unknown tech '%s'\n", argv[i]);
                 return false;
             }
             opts.tech = *tech;
         } else if (!std::strcmp(argv[i], "--power") && i + 1 < argc) {
-            opts.power = std::stod(argv[++i]);
-            if (opts.power <= 0.0) {
-                std::fprintf(stderr, "power must be positive\n");
+            char *end = nullptr;
+            opts.power = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || opts.power <= 0.0) {
+                std::fprintf(stderr, "--power needs a positive number, got '%s'\n",
+                             argv[i]);
                 return false;
             }
+        } else if (!std::strcmp(argv[i], "--threads") &&
+                   i + 1 < argc) {
+            char *end = nullptr;
+            const long n = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 0) {
+                std::fprintf(stderr, "--threads needs a count >= 0, got '%s'\n",
+                             argv[i]);
+                return false;
+            }
+            opts.threads = static_cast<unsigned>(n);
         } else if (!std::strcmp(argv[i], "--continuous")) {
             opts.continuous = true;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            opts.json = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return false;
@@ -115,6 +111,29 @@ cmdInfo(const Options &opts)
 {
     const GateLibrary lib(makeDeviceConfig(opts.tech));
     const DeviceConfig &cfg = lib.config();
+    if (opts.json) {
+        std::string gates;
+        for (GateType g : lib.feasibleGates()) {
+            if (!gates.empty()) {
+                gates += ",";
+            }
+            gates += "\"" + jsonEscape(gateName(g)) + "\"";
+        }
+        std::printf(
+            "{\"tech\":\"%s\",\"name\":\"%s\","
+            "\"frequency_hz\":%.17g,"
+            "\"cap_voltage_low_v\":%.17g,"
+            "\"cap_voltage_high_v\":%.17g,"
+            "\"buffer_capacitance_f\":%.17g,"
+            "\"write_energy_j\":%.17g,\"read_energy_j\":%.17g,"
+            "\"feasible_gates\":[%s]}\n",
+            names::techName(opts.tech),
+            jsonEscape(cfg.name()).c_str(), cfg.frequency(),
+            cfg.capVoltageLow, cfg.capVoltageHigh,
+            cfg.bufferCapacitance, lib.writeOp().energy,
+            lib.readOp().energy, gates.c_str());
+        return 0;
+    }
     std::printf("%s: %.1f MHz, window %.0f..%.0f mV, buffer %.0f uF\n",
                 cfg.name().c_str(), cfg.frequency() / 1e6,
                 cfg.capVoltageLow * 1e3, cfg.capVoltageHigh * 1e3,
@@ -136,59 +155,78 @@ cmdInfo(const Options &opts)
     return 0;
 }
 
+/** One-point grid for `bench`: reuses the runner end to end. */
 int
-cmdBench(const bench::Benchmark &b, const Options &opts)
+cmdBench(const exp::Benchmark &b, const Options &opts)
 {
-    const GateLibrary lib(makeDeviceConfig(opts.tech));
-    const EnergyModel energy(lib);
-    MappingInfo info;
-    const Trace trace = bench::traceFor(lib, b, &info);
-    RunStats stats;
-    if (opts.continuous) {
-        stats = runContinuousTrace(trace, energy);
-        std::printf("%s on %s, continuous power\n", b.name.c_str(),
-                    lib.config().name().c_str());
-    } else {
-        HarvestConfig harvest;
-        harvest.sourcePower = opts.power;
-        stats = runHarvestedTrace(trace, energy, harvest);
-        std::printf("%s on %s, %.0f uW harvester\n", b.name.c_str(),
-                    lib.config().name().c_str(), opts.power * 1e6);
+    exp::SweepGrid grid;
+    grid.techs = {opts.tech};
+    grid.benchmarks = {b};
+    grid.powers = {opts.continuous ? exp::kContinuousPower
+                                   : opts.power};
+    exp::ExperimentRunner runner(1);
+    const exp::SweepResult res = runner.run(grid);
+    const RunResult &r = res.points.front();
+    if (opts.json) {
+        std::printf("%s\n", r.toJson().c_str());
+        return 0;
     }
+    if (opts.continuous) {
+        std::printf("%s on %s, continuous power\n", b.name.c_str(),
+                    makeDeviceConfig(opts.tech).name().c_str());
+    } else {
+        std::printf("%s on %s, %.0f uW harvester\n", b.name.c_str(),
+                    makeDeviceConfig(opts.tech).name().c_str(),
+                    opts.power * 1e6);
+    }
+    const GateLibrary lib(makeDeviceConfig(opts.tech));
+    MappingInfo info;
+    (void)exp::traceFor(lib, b, &info);
     std::printf("layout: %u elem/col, %u cols/unit, %llu units x %u "
                 "batch(es), %.1f + %.1f MB\n",
                 info.elementsPerColumn, info.colsPerUnit,
                 static_cast<unsigned long long>(info.unitsPerBatch),
                 info.batches, info.instrMB, info.dataMB);
-    std::printf("%s\n", stats.summary().c_str());
+    std::printf("%s\n", r.stats.summary().c_str());
     return 0;
 }
 
 int
-cmdSweep(const bench::Benchmark &b, const Options &opts)
+cmdSweep(const exp::Benchmark &b, const Options &opts)
 {
-    const GateLibrary lib(makeDeviceConfig(opts.tech));
-    const EnergyModel energy(lib);
-    const Trace trace = bench::traceFor(lib, b);
+    exp::SweepGrid grid;
+    grid.techs = {opts.tech};
+    grid.benchmarks = {b};
+    grid.powers = exp::powerSweep();
+    exp::ExperimentRunner runner(opts.threads);
+    const exp::SweepResult res = runner.run(grid);
+    if (opts.json) {
+        std::printf("%s\n", res.toJson().c_str());
+        return 0;
+    }
     std::printf("%-12s %16s %14s %10s\n", "power", "latency (us)",
                 "energy (uJ)", "outages");
-    for (Watts p : bench::powerSweep()) {
-        HarvestConfig harvest;
-        harvest.sourcePower = p;
-        const RunStats s = runHarvestedTrace(trace, energy, harvest);
-        std::printf("%9.0f uW %16.0f %14.3f %10llu\n", p * 1e6,
-                    s.totalTime() * 1e6, s.totalEnergy() * 1e6,
+    for (std::size_t i = 0; i < res.points.size(); ++i) {
+        const RunStats &s = res.points[i].stats;
+        std::printf("%9.0f uW %16.0f %14.3f %10llu\n",
+                    grid.powers[i] * 1e6, s.totalTime() * 1e6,
+                    s.totalEnergy() * 1e6,
                     static_cast<unsigned long long>(s.outages));
     }
+    // Timing goes to stderr so stdout stays byte-identical across
+    // thread counts and runs.
+    std::fprintf(stderr, "(%zu points in %.1f ms on %u threads)\n",
+                 res.points.size(), res.wallSeconds * 1e3,
+                 res.threads);
     return 0;
 }
 
 int
-cmdAnalyze(const bench::Benchmark &b, const Options &opts)
+cmdAnalyze(const exp::Benchmark &b, const Options &opts)
 {
     const GateLibrary lib(makeDeviceConfig(opts.tech));
     const EnergyModel energy(lib);
-    const Trace trace = bench::traceFor(lib, b);
+    const Trace trace = exp::traceFor(lib, b);
     const TerminationReport r =
         analyzeTermination(trace, energy, HarvestConfig{});
     std::printf("%s on %s\n", b.name.c_str(),
@@ -220,14 +258,17 @@ int
 cmdList()
 {
     std::printf("benchmarks:\n");
-    const char *keys[] = {"mnist", "mnist-bin", "har",
-                          "adult", "finn",      "fpbnn"};
-    const auto all = bench::paperBenchmarks();
+    const auto &keys = names::listBenchmarks();
+    const auto &all = exp::paperBenchmarks();
     for (std::size_t i = 0; i < all.size(); ++i) {
-        std::printf("  %-10s %s (%.0f MB)\n", keys[i],
+        std::printf("  %-10s %s (%.0f MB)\n", keys[i].c_str(),
                     all[i].name.c_str(), all[i].capacityMB);
     }
-    std::printf("techs: modern-stt projected-stt she\n");
+    std::printf("techs:");
+    for (TechConfig tech : names::allTechs()) {
+        std::printf(" %s", names::techName(tech));
+    }
+    std::printf("\n");
     return 0;
 }
 
@@ -265,21 +306,22 @@ main(int argc, char **argv)
         if (argc < 3) {
             return usage();
         }
-        const auto b = parseBenchmark(argv[2]);
-        if (!b) {
+        const auto bi = names::benchmarkIndex(argv[2]);
+        if (!bi) {
             std::fprintf(stderr, "unknown benchmark '%s'\n", argv[2]);
             return 2;
         }
+        const exp::Benchmark &b = exp::paperBenchmarks()[*bi];
         if (!parseFlags(argc, argv, 3, opts)) {
             return usage();
         }
         if (cmd == "bench") {
-            return cmdBench(*b, opts);
+            return cmdBench(b, opts);
         }
         if (cmd == "sweep") {
-            return cmdSweep(*b, opts);
+            return cmdSweep(b, opts);
         }
-        return cmdAnalyze(*b, opts);
+        return cmdAnalyze(b, opts);
     }
     return usage();
 }
