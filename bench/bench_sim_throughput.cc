@@ -98,6 +98,40 @@ BM_HarvestedTraceSvmMnist(benchmark::State &state)
 BENCHMARK(BM_HarvestedTraceSvmMnist);
 
 /**
+ * The same harvested run with every telemetry channel recording
+ * (stats + events + waveform).  The delta against
+ * BM_HarvestedTraceSvmMnist is the full observability overhead; the
+ * tracing-off run above must stay within noise of historical numbers
+ * (telemetry is a null pointer there, so the hooks cost one
+ * never-taken branch).
+ */
+void
+BM_HarvestedTraceSvmMnistTraced(benchmark::State &state)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ModernStt));
+    const EnergyModel energy(lib);
+    const auto benchmarks = bench::paperBenchmarks();
+    const Trace trace = bench::traceFor(lib, benchmarks[0]);
+    HarvestConfig harvest;
+    harvest.sourcePower = 60e-6;
+    obs::TraceConfig cfg;
+    cfg.stats = true;
+    cfg.events = true;
+    cfg.waveform = true;
+    for (auto _ : state) {
+        obs::Telemetry telem = obs::Telemetry::make(cfg);
+        const RunStats s =
+            runHarvestedTrace(trace, energy, harvest, &telem);
+        benchmark::DoNotOptimize(s);
+        benchmark::DoNotOptimize(telem.stats.get());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(trace.totalInstructions()));
+}
+BENCHMARK(BM_HarvestedTraceSvmMnistTraced);
+
+/**
  * The full Figure-9 grid (3 techs x 6 benchmarks x 7 powers = 126
  * points) through the ExperimentRunner.  Arg = worker threads;
  * Arg(1) is the serial baseline, so the ratio of the points_per_s

@@ -1,6 +1,7 @@
 #include "tile_grid.hh"
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 
 namespace mouse
 {
@@ -27,6 +28,27 @@ TileGrid::TileGrid(const ArrayConfig &cfg, const GateLibrary &lib)
     : cfg_(cfg), lib_(lib), tiles_(cfg.numDataTiles),
       active_(cfg.tileCols), buffer_(cfg.tileCols, 0)
 {
+}
+
+void
+TileGrid::attachStats(obs::StatRegistry *reg)
+{
+    stOps_.clear();
+    stSwitched_.clear();
+    if (reg == nullptr) {
+        return;
+    }
+    stOps_.reserve(cfg_.numDataTiles);
+    stSwitched_.reserve(cfg_.numDataTiles);
+    for (TileAddr t = 0; t < cfg_.numDataTiles; ++t) {
+        const std::string id = std::to_string(t);
+        stOps_.push_back(&reg->counter(
+            "tile." + id + ".ops",
+            "array operations issued (incl. attempts/replays)"));
+        stSwitched_.push_back(&reg->counter(
+            "tile." + id + ".switched",
+            "output MTJs that flipped"));
+    }
 }
 
 Tile &
@@ -88,6 +110,7 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
         out.activeColumns = active_.count();
         break;
       case Opcode::kReadRow: {
+        countOp(inst.tile, 0);
         if (cycle_fraction >= 1.0) {
             out.deviceEnergy +=
                 tile(inst.tile).readRow(lib_, inst.outRow, buffer_);
@@ -100,6 +123,7 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
         break;
       }
       case Opcode::kWriteRow:
+        countOp(inst.tile, 0);
         out.deviceEnergy += tile(inst.tile).writeRow(
             lib_, inst.outRow, buffer_, cycle_fraction);
         break;
@@ -112,6 +136,7 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
         for (unsigned c = 0; c < width; ++c) {
             rotated[c] = buffer_[(c + inst.colLo) % width];
         }
+        countOp(inst.tile, 0);
         out.deviceEnergy += tile(inst.tile).writeRow(
             lib_, inst.outRow, rotated, cycle_fraction);
         break;
@@ -121,11 +146,13 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
         const Bit value = inst.op == Opcode::kPreset1 ? 1 : 0;
         if (inst.tile == kBroadcastTile) {
             for (TileAddr t = 0; t < cfg_.numDataTiles; ++t) {
+                countOp(t, 0);
                 out.deviceEnergy += tile(t).presetRow(
                     lib_, inst.outRow, value, active_,
                     cycle_fraction);
             }
         } else {
+            countOp(inst.tile, 0);
             out.deviceEnergy += tile(inst.tile).presetRow(
                 lib_, inst.outRow, value, active_, cycle_fraction);
         }
@@ -141,6 +168,7 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
                     cycle_fraction);
                 out.deviceEnergy += r.deviceEnergy;
                 out.switched += r.switched;
+                countOp(t, r.switched);
             }
         } else {
             const GateExecResult r = tile(inst.tile).executeGate(
@@ -148,6 +176,7 @@ TileGrid::execute(const Instruction &inst, double cycle_fraction)
                 cycle_fraction);
             out.deviceEnergy += r.deviceEnergy;
             out.switched = r.switched;
+            countOp(inst.tile, r.switched);
         }
         break;
       }

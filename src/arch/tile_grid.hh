@@ -22,6 +22,7 @@
 
 #include "arch/tile.hh"
 #include "isa/instruction.hh"
+#include "obs/stat_registry.hh"
 
 namespace mouse
 {
@@ -119,14 +120,36 @@ class TileGrid
     std::vector<Bit> &rowBuffer() { return buffer_; }
     const std::vector<Bit> &rowBuffer() const { return buffer_; }
 
+    /**
+     * Register per-tile telemetry counters ("tile.<id>.ops" — array
+     * operations issued, including interrupted attempts and restart
+     * replays — and "tile.<id>.switched" — output MTJs that flipped)
+     * with @p reg, which must outlive the attachment.  Pass nullptr
+     * to detach.
+     */
+    void attachStats(obs::StatRegistry *reg);
+
   private:
     void applyActivation(const Instruction &inst);
+
+    /** Count one op (and @p switched MTJ flips) against a tile. */
+    void
+    countOp(TileAddr t, unsigned switched)
+    {
+        if (!stOps_.empty()) {
+            stOps_[t]->increment();
+            *stSwitched_[t] += switched;
+        }
+    }
 
     ArrayConfig cfg_;
     const GateLibrary &lib_;
     std::vector<std::unique_ptr<Tile>> tiles_;
     ColumnSet active_;
     std::vector<Bit> buffer_;
+    /** Telemetry counters, indexed by tile (empty when detached). */
+    std::vector<obs::Counter *> stOps_;
+    std::vector<obs::Counter *> stSwitched_;
 };
 
 } // namespace mouse

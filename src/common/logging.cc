@@ -1,6 +1,8 @@
 #include "logging.hh"
 
 #include <cstdarg>
+#include <cstring>
+#include <string>
 
 namespace mouse
 {
@@ -8,46 +10,127 @@ namespace mouse
 namespace
 {
 
-void
-vlogMessage(const char *prefix, const char *fmt, va_list args)
+/**
+ * Threshold parsed once from MOUSE_LOG_LEVEL.  Accepts the level
+ * names (debug/info/warn/error/none, case as-is) or 0-4.  Unset or
+ * unparsable keeps the default: everything prints, matching the
+ * historical behavior.  panic/fatal/assert ignore the threshold —
+ * suppressing the reason for an abort helps nobody.
+ */
+LogLevel
+parseLevelEnv()
 {
-    std::fprintf(stderr, "%s: ", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    const char *env = std::getenv("MOUSE_LOG_LEVEL");
+    if (!env || !*env) {
+        return LogLevel::Debug;
+    }
+    if (!std::strcmp(env, "debug") || !std::strcmp(env, "0")) {
+        return LogLevel::Debug;
+    }
+    if (!std::strcmp(env, "info") || !std::strcmp(env, "1")) {
+        return LogLevel::Info;
+    }
+    if (!std::strcmp(env, "warn") || !std::strcmp(env, "2")) {
+        return LogLevel::Warn;
+    }
+    if (!std::strcmp(env, "error") || !std::strcmp(env, "3")) {
+        return LogLevel::Error;
+    }
+    if (!std::strcmp(env, "none") || !std::strcmp(env, "4")) {
+        return LogLevel::None;
+    }
+    return LogLevel::Debug;
+}
+
+/**
+ * Render "prefix: body\n" into one buffer and hand it to stderr with
+ * a single fwrite, so concurrent workers' messages interleave at line
+ * granularity instead of mid-line.
+ */
+void
+emitLine(const char *head, const char *fmt, va_list args)
+{
+    char stack[512];
+    va_list copy;
+    va_copy(copy, args);
+    const int need = std::vsnprintf(stack, sizeof(stack), fmt, copy);
+    va_end(copy);
+    if (need < 0) {
+        return;
+    }
+    std::string line = head;
+    if (static_cast<size_t>(need) < sizeof(stack)) {
+        line += stack;
+    } else {
+        std::string body(static_cast<size_t>(need) + 1, '\0');
+        std::vsnprintf(body.data(), body.size(), fmt, args);
+        body.resize(static_cast<size_t>(need));
+        line += body;
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+LogLevel
+severityOf(const char *prefix)
+{
+    if (!std::strcmp(prefix, "info")) {
+        return LogLevel::Info;
+    }
+    if (!std::strcmp(prefix, "warn")) {
+        return LogLevel::Warn;
+    }
+    if (!std::strcmp(prefix, "debug")) {
+        return LogLevel::Debug;
+    }
+    // panic/fatal/assert and anything unrecognized.
+    return LogLevel::Error;
 }
 
 } // namespace
 
+LogLevel
+logThreshold()
+{
+    static const LogLevel level = parseLevelEnv();
+    return level;
+}
+
 void
 logMessage(const char *prefix, const char *fmt, ...)
 {
+    if (severityOf(prefix) < logThreshold()) {
+        return;
+    }
+    const std::string head = std::string(prefix) + ": ";
     va_list args;
     va_start(args, fmt);
-    vlogMessage(prefix, fmt, args);
+    emitLine(head.c_str(), fmt, args);
     va_end(args);
 }
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    char head[256];
+    std::snprintf(head, sizeof(head), "panic: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    emitLine(head, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    char head[256];
+    std::snprintf(head, sizeof(head), "fatal: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    emitLine(head, fmt, args);
     va_end(args);
-    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 

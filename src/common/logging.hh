@@ -5,6 +5,12 @@
  * panic() is for internal invariant violations (simulator bugs) and
  * aborts; fatal() is for user/configuration errors and exits cleanly;
  * warn()/inform() print status without stopping the run.
+ *
+ * Messages are rendered into one buffer and written with a single
+ * fwrite, so lines from parallel sweep workers never interleave
+ * mid-line.  The MOUSE_LOG_LEVEL environment variable
+ * (debug|info|warn|error|none, or 0-4) raises the stderr threshold;
+ * panic/fatal/assert always print.
  */
 
 #ifndef MOUSE_COMMON_LOGGING_HH
@@ -17,8 +23,23 @@
 namespace mouse
 {
 
+/** Severity order for the MOUSE_LOG_LEVEL threshold. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    None = 4,
+};
+
+/** Threshold from MOUSE_LOG_LEVEL (parsed once; default Debug). */
+LogLevel logThreshold();
+
 /**
  * Print a formatted message with a severity prefix to stderr.
+ * Messages whose prefix maps below logThreshold() are dropped
+ * ("info" < "warn" < everything else).
  *
  * @param prefix Severity tag, e.g. "panic".
  * @param fmt printf-style format string.

@@ -1,6 +1,7 @@
 #include "controller.hh"
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
 
 namespace mouse
 {
@@ -9,6 +10,26 @@ Controller::Controller(TileGrid &grid, InstructionMemory &imem,
                        const EnergyModel &energy)
     : grid_(grid), imem_(imem), energy_(energy)
 {
+}
+
+void
+Controller::attachStats(obs::StatRegistry *reg)
+{
+    if (reg == nullptr) {
+        stSteps_ = stInterrupted_ = stRestarts_ =
+            stRestoreCycles_ = nullptr;
+        return;
+    }
+    stSteps_ = &reg->counter("controller.steps",
+                             "completed controller steps");
+    stInterrupted_ =
+        &reg->counter("controller.interrupted",
+                      "instruction attempts cut by an outage");
+    stRestarts_ = &reg->counter("controller.restarts",
+                                "restart protocol invocations");
+    stRestoreCycles_ =
+        &reg->counter("controller.restore_cycles",
+                      "cycles spent re-issuing the ACT journal");
 }
 
 void
@@ -95,6 +116,9 @@ StepResult
 Controller::step()
 {
     mouse_assert(!halted_, "stepping a halted controller");
+    if (stSteps_ != nullptr) {
+        stSteps_->increment();
+    }
     StepResult result;
     result.inst = fetchDecode(result.energy);
     if (result.inst.op == Opcode::kHalt) {
@@ -116,6 +140,9 @@ Controller::stepInterrupted(MicroStep at, double fraction)
 {
     mouse_assert(!halted_, "stepping a halted controller");
     mouse_assert(fraction >= 0.0 && fraction <= 1.0, "bad fraction");
+    if (stInterrupted_ != nullptr) {
+        stInterrupted_->increment();
+    }
 
     Joules energy = 0.0;
     if (at == MicroStep::kFetch) {
@@ -187,6 +214,10 @@ Controller::restart()
     result.restoreCycles = energy_.restoreCycles(journal.count);
     result.restoreEnergy = energy_.restoreEnergy(
         journal.count, grid_.activeColumns().count());
+    if (stRestarts_ != nullptr) {
+        stRestarts_->increment();
+        *stRestoreCycles_ += result.restoreCycles;
+    }
     return result;
 }
 

@@ -28,6 +28,12 @@
 namespace mouse
 {
 
+namespace obs
+{
+class Counter;
+class StatRegistry;
+} // namespace obs
+
 /** Interruptible phases of one instruction (Figure 7). */
 enum class MicroStep
 {
@@ -132,6 +138,14 @@ class Controller
      */
     RestartResult restart();
 
+    /**
+     * Register this controller's counters ("controller.steps",
+     * "controller.interrupted", "controller.restarts",
+     * "controller.restore_cycles") with @p reg, which must outlive
+     * the attachment.  Pass nullptr to detach.
+     */
+    void attachStats(obs::StatRegistry *reg);
+
   private:
     /** Fetch + decode the instruction at the valid PC. */
     Instruction fetchDecode(Joules &energy) const;
@@ -152,6 +166,11 @@ class Controller
     DuplexNvRegister<std::uint32_t> pcReg_;
     DuplexNvRegister<ActJournal> actReg_;
     bool halted_ = false;
+    // Optional telemetry counters (null when no registry attached).
+    obs::Counter *stSteps_ = nullptr;
+    obs::Counter *stInterrupted_ = nullptr;
+    obs::Counter *stRestarts_ = nullptr;
+    obs::Counter *stRestoreCycles_ = nullptr;
 };
 
 } // namespace mouse

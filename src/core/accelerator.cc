@@ -34,20 +34,35 @@ Accelerator::execute(const RunRequest &req)
     if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
         mouse_fatal("RunRequest with Trace fidelity needs a trace");
     }
+    obs::Telemetry telem = obs::Telemetry::make(req.telemetry);
+    obs::Telemetry *tp = telem.enabled() ? &telem : nullptr;
+    if (telem.stats && req.fidelity == Fidelity::Functional) {
+        controller_->attachStats(telem.stats.get());
+        grid_->attachStats(telem.stats.get());
+    }
     switch (req.fidelity) {
       case Fidelity::Functional:
         res.stats = harvested
                         ? runHarvestedFunctional(*controller_,
-                                                 req.harvest)
-                        : runContinuousFunctional(*controller_);
+                                                 req.harvest, tp)
+                        : runContinuousFunctional(*controller_, tp);
         break;
       case Fidelity::Trace:
         res.stats = harvested
                         ? runHarvestedTrace(*req.trace, *energy_,
-                                            req.harvest)
-                        : runContinuousTrace(*req.trace, *energy_);
+                                            req.harvest, tp)
+                        : runContinuousTrace(*req.trace, *energy_,
+                                             tp);
         break;
     }
+    if (telem.stats && req.fidelity == Fidelity::Functional) {
+        // The registry is owned by the result; drop the raw
+        // attachments before it can outlive them.
+        controller_->attachStats(nullptr);
+        grid_->attachStats(nullptr);
+    }
+    res.statsTree = telem.stats;
+    res.traceSink = telem.sink;
     res.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)

@@ -100,6 +100,9 @@ RunResult::toJson() const
     j += "},";
     j += "\"wall_seconds\":" + num(wallSeconds);
     j += ",\"stats\":" + mouse::toJson(stats);
+    if (statsTree && !statsTree->empty()) {
+        j += ",\"stat_registry\":" + statsTree->toJson();
+    }
     j += "}";
     return j;
 }

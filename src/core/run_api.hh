@@ -21,7 +21,10 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+
 #include "compile/program.hh"
+#include "obs/telemetry.hh"
 #include "sim/simulator.hh"
 
 namespace mouse
@@ -60,6 +63,12 @@ struct RunRequest
     const Trace *trace = nullptr;
     /** Free-form tag echoed into the result's metadata. */
     std::string label;
+    /**
+     * Telemetry channels to record (all off by default).  When any
+     * are enabled, the result carries the filled StatRegistry /
+     * TraceSink; see docs/OBSERVABILITY.md.
+     */
+    obs::TraceConfig telemetry{};
 };
 
 /** Identity of the sweep-grid point a result belongs to. */
@@ -86,8 +95,13 @@ struct RunResult
     /** Host wall-clock time spent simulating, in seconds. */
     double wallSeconds = 0.0;
     PointMeta meta;
+    /** Hierarchical stats tree; null unless telemetry.stats. */
+    std::shared_ptr<obs::StatRegistry> statsTree;
+    /** Event trace / waveform; null unless telemetry asked. */
+    std::shared_ptr<obs::TraceSink> traceSink;
 
-    /** Single-line JSON object (stats + meta + wall clock). */
+    /** Single-line JSON object (stats + meta + wall clock; the
+     *  stat_registry tree rides along when collected). */
     std::string toJson() const;
 };
 

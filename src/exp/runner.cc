@@ -127,6 +127,8 @@ ExperimentRunner::run(const SweepGrid &grid) const
     SweepResult result;
     result.grid = grid;
     result.threads = threads_;
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
     result.points = map(total, [&](std::size_t i) {
         const SweepPoint point = grid.at(i);
         // Locate the shared context by re-doing the mixed-radix
@@ -145,11 +147,16 @@ ExperimentRunner::run(const SweepGrid &grid) const
 
         const auto p0 = std::chrono::steady_clock::now();
         RunResult r;
+        // Each point records into its own sinks; they are folded in
+        // grid-index order below, so any thread count produces the
+        // same aggregate bit for bit.
+        obs::Telemetry telem = obs::Telemetry::make(grid.telemetry);
+        obs::Telemetry *tp = telem.enabled() ? &telem : nullptr;
         if (point.continuous()) {
-            r.stats = runContinuousTrace(trace, energy);
+            r.stats = runContinuousTrace(trace, energy, tp);
         } else {
             r.stats = runHarvestedTrace(trace, energy,
-                                        grid.harvestFor(point));
+                                        grid.harvestFor(point), tp);
         }
         r.wallSeconds = elapsed(p0);
         r.meta.index = point.index;
@@ -159,8 +166,44 @@ ExperimentRunner::run(const SweepGrid &grid) const
         r.meta.seed = point.seed;
         r.meta.checkpointPeriod = point.checkpointPeriod;
         r.meta.margin = point.margin;
+        r.statsTree = telem.stats;
+        r.traceSink = telem.sink;
+        if (progress_) {
+            const std::size_t d =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress_(d, total);
+        }
         return r;
     });
+    // Fold per-point telemetry at the join, in index order.
+    if (grid.telemetry.stats) {
+        result.stats = std::make_shared<obs::StatRegistry>();
+        for (const RunResult &r : result.points) {
+            if (r.statsTree) {
+                result.stats->merge(*r.statsTree);
+            }
+        }
+    }
+    if (grid.telemetry.events || grid.telemetry.waveform) {
+        // The merged sink holds every point's buffers; scale the cap
+        // with the grid (bounded) so per-point caps stay the limit.
+        const std::size_t per =
+            grid.telemetry.maxEvents > 0 ? grid.telemetry.maxEvents
+                                         : (std::size_t{1} << 20);
+        const std::size_t cap = std::min<std::size_t>(
+            per * std::max<std::size_t>(total, 1),
+            std::size_t{1} << 24);
+        result.trace =
+            std::make_shared<obs::TraceSink>(cap, cap);
+        for (std::size_t i = 0; i < result.points.size(); ++i) {
+            if (result.points[i].traceSink) {
+                result.trace->mergeFrom(
+                    *result.points[i].traceSink,
+                    static_cast<std::uint32_t>(i));
+            }
+        }
+    }
     result.wallSeconds = elapsed(t0);
     return result;
 }

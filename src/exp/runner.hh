@@ -40,6 +40,12 @@ struct SweepResult
     double wallSeconds = 0.0;
     /** Worker threads the sweep ran on. */
     unsigned threads = 1;
+    /** Point stats folded name-wise; null unless grid.telemetry
+     *  asked for stats. */
+    std::shared_ptr<obs::StatRegistry> stats;
+    /** All points' events/waveform, each tagged with its grid index
+     *  as the trace pid; null unless telemetry asked. */
+    std::shared_ptr<obs::TraceSink> trace;
 
     /** Points per second of wall-clock. */
     double
@@ -65,6 +71,19 @@ class ExperimentRunner
     threads() const
     {
         return threads_;
+    }
+
+    /**
+     * Install a progress observer for run(): called as points
+     * complete with (done, total).  Invoked from worker threads but
+     * serialized by the runner, so the callback itself needs no
+     * locking; keep it fast (it holds up result reporting, never
+     * the simulations).
+     */
+    void
+    setProgress(std::function<void(std::size_t, std::size_t)> fn)
+    {
+        progress_ = std::move(fn);
     }
 
     /**
@@ -98,6 +117,7 @@ class ExperimentRunner
 
   private:
     unsigned threads_;
+    std::function<void(std::size_t, std::size_t)> progress_;
 };
 
 } // namespace mouse::exp

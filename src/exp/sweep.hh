@@ -22,6 +22,7 @@
 
 #include "exp/workloads.hh"
 #include "logic/gate_solver.hh"
+#include "obs/telemetry.hh"
 
 namespace mouse::exp
 {
@@ -72,6 +73,13 @@ struct SweepGrid
     /** Template for harvested points; power, checkpoint period and
      *  seed are overridden per point. */
     HarvestConfig harvestBase{};
+    /**
+     * Telemetry channels every point records (all off by default).
+     * Each point fills its own sinks; the runner folds them — in
+     * grid-index order, so bit-identically for any thread count —
+     * into the SweepResult aggregates.
+     */
+    obs::TraceConfig telemetry{};
 
     /** Number of grid points (product of the axis lengths). */
     std::size_t size() const;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Hierarchical named-statistics registry (gem5-style).
+ *
+ * Every subsystem registers leaf statistics under dotted names
+ * ("sim.outage.count", "tile.0.ops", "harvest.cap.recharges"); the
+ * registry renders them as a nested JSON tree or a flat CSV table,
+ * and merges name-wise so per-thread / per-point registries can be
+ * folded deterministically at a sweep join.
+ *
+ * Four kinds:
+ *  - Counter: monotonically increasing uint64 (merge: sum);
+ *  - Scalar: a double with an explicit merge policy (sum/min/max);
+ *  - Histogram: geometric-bucket distribution with exact count /
+ *    sum / min / max and interpolated percentiles (merge: bucket-wise
+ *    sum);
+ *  - Formula: a derived value computed over the registry *by name*
+ *    at dump time, so it stays correct after merges.
+ *
+ * Registration is idempotent: asking for an existing name of the
+ * same kind returns the existing stat, so hot paths can cache the
+ * reference once.  The registry is not internally synchronized —
+ * use one registry per thread of execution and merge at the join,
+ * which is also what keeps parallel sweeps bit-identical.
+ */
+
+#ifndef MOUSE_OBS_STAT_REGISTRY_HH
+#define MOUSE_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace mouse::obs
+{
+
+class StatRegistry;
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void increment() { ++value_; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** How two same-named scalars combine when registries merge. */
+enum class MergePolicy
+{
+    kSum,
+    kMin,
+    kMax,
+};
+
+/** A double-valued statistic with an explicit merge policy. */
+class Scalar
+{
+  public:
+    explicit Scalar(MergePolicy policy = MergePolicy::kSum)
+        : policy_(policy)
+    {
+    }
+
+    /** Overwrite the value. */
+    void
+    set(double v)
+    {
+        value_ = v;
+        touched_ = true;
+    }
+
+    /** Fold @p v in according to the merge policy (min keeps the
+     *  smaller, max the larger, sum accumulates). */
+    void observe(double v);
+
+    /** Current value; 0 when never set/observed. */
+    double value() const { return touched_ ? value_ : 0.0; }
+    bool touched() const { return touched_; }
+    MergePolicy policy() const { return policy_; }
+
+    void merge(const Scalar &other);
+
+  private:
+    double value_ = 0.0;
+    bool touched_ = false;
+    MergePolicy policy_;
+};
+
+/**
+ * Distribution over positive values with geometric buckets (8 per
+ * decade from 1e-12 to 1e14; non-positive samples land in a
+ * dedicated underflow bucket).  Percentiles interpolate inside the
+ * selected bucket and are clamped to the exact observed [min, max].
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBucketsPerDecade = 8;
+    static constexpr int kLoExponent = -12;
+    static constexpr int kHiExponent = 14;
+    static constexpr int kBuckets =
+        (kHiExponent - kLoExponent) * kBucketsPerDecade + 2;
+
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+    double mean() const;
+
+    /** Value at quantile @p q in [0, 1] (bucket-interpolated). */
+    double percentile(double q) const;
+
+    void merge(const Histogram &other);
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Derived value evaluated against the owning registry at dump
+ *  time.  The callback must only look stats up *by name* (no
+ *  captured stat pointers) so it survives registry merges. */
+using FormulaFn = std::function<double(const StatRegistry &)>;
+
+/** Hierarchical registry of named statistics. */
+class StatRegistry
+{
+  public:
+    /** Register (or fetch) a counter under @p name. */
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+
+    /** Register (or fetch) a scalar under @p name. */
+    Scalar &scalar(const std::string &name,
+                   MergePolicy policy = MergePolicy::kSum,
+                   const std::string &desc = "");
+
+    /** Register (or fetch) a histogram under @p name. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &desc = "");
+
+    /** Register a formula; replaces an existing one of that name. */
+    void formula(const std::string &name, FormulaFn fn,
+                 const std::string &desc = "");
+
+    // -- Lookup (null when absent or of a different kind) -----------
+    const Counter *findCounter(const std::string &name) const;
+    const Scalar *findScalar(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Counter value by name, 0 when absent (formula convenience). */
+    double counterValue(const std::string &name) const;
+    /** Scalar value by name, 0 when absent. */
+    double scalarValue(const std::string &name) const;
+
+    bool empty() const { return stats_.empty(); }
+    std::size_t size() const { return stats_.size(); }
+
+    /**
+     * Fold @p other into this registry name-wise: counters and
+     * histogram buckets add, scalars apply their merge policy, and
+     * formulas absent here are adopted (they re-evaluate against the
+     * merged stats).  Stats only present in @p other are copied.
+     */
+    void merge(const StatRegistry &other);
+
+    /** Nested JSON object keyed by the dotted-name hierarchy. */
+    std::string toJson() const;
+
+    /** Flat CSV: name,kind,value,count,sum,min,max,mean,p50,p90,p99. */
+    std::string toCsv() const;
+
+  private:
+    struct Entry
+    {
+        enum class Kind
+        {
+            kCounter,
+            kScalar,
+            kHistogram,
+            kFormula,
+        };
+        Kind kind;
+        std::string desc;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Scalar> scalar;
+        std::unique_ptr<Histogram> histogram;
+        FormulaFn formula;
+    };
+
+    Entry &require(const std::string &name, Entry::Kind kind);
+
+    /** Name-sorted so every dump and merge is deterministic. */
+    std::map<std::string, Entry> stats_;
+};
+
+} // namespace mouse::obs
+
+#endif // MOUSE_OBS_STAT_REGISTRY_HH

@@ -39,10 +39,321 @@ traceInstrCost(const EnergyModel &energy, const TraceBlock &blk)
     return cost;
 }
 
+/**
+ * Telemetry probe shared by the four runners.  Holds raw pointers
+ * into the run's Telemetry bundle; every method self-gates, and the
+ * hot-loop call sites are additionally wrapped in MOUSE_OBS_HOOK so
+ * a null telemetry costs one predictable branch (or nothing at all
+ * under MOUSE_OBS_DISABLE_HOOKS).
+ */
+class SimProbe
+{
+  public:
+    explicit SimProbe(obs::Telemetry *telem)
+    {
+        if (telem == nullptr) {
+            return;
+        }
+        cfg_ = telem->config;
+        sink_ = telem->sink.get();
+        reg_ = telem->stats.get();
+        if (reg_ != nullptr) {
+            committed_ = &reg_->counter(
+                "sim.instr.committed",
+                "instructions that committed");
+            dead_ = &reg_->counter(
+                "sim.instr.dead",
+                "instruction attempts killed by outages (incl. "
+                "replays)");
+            outages_ = &reg_->counter("sim.outage.count",
+                                      "power outages (= restarts)");
+            outageDur_ = &reg_->histogram(
+                "sim.outage.duration_s",
+                "seconds powered off per outage");
+            burstInstr_ = &reg_->histogram(
+                "sim.burst.instructions",
+                "instructions committed per powered-on burst");
+            restores_ =
+                &reg_->counter("sim.restore.count",
+                               "restart-protocol executions");
+            recharges_ = &reg_->counter(
+                "harvest.cap.recharges",
+                "full recharges of the buffer capacitor");
+            vMin_ = &reg_->scalar("harvest.cap.voltage_min_v",
+                                  obs::MergePolicy::kMin,
+                                  "lowest sampled buffer voltage");
+            vMax_ = &reg_->scalar("harvest.cap.voltage_max_v",
+                                  obs::MergePolicy::kMax,
+                                  "highest sampled buffer voltage");
+        }
+    }
+
+    bool wantsEvents() const { return sink_ && cfg_.events; }
+    bool wantsWaveform() const { return sink_ && cfg_.waveform; }
+
+    /** A chunk of @p n identical instructions committed (trace). */
+    void
+    commitChunk(std::uint64_t n, Seconds t0, Seconds dur,
+                unsigned checkpointPeriod)
+    {
+        if (committed_ != nullptr) {
+            *committed_ += n;
+        }
+        burst_ += n;
+        if (wantsEvents()) {
+            sink_->complete(
+                "burst", "exec", t0, dur,
+                "{\"instructions\":" + std::to_string(n) + "}");
+            sink_->instant(
+                "checkpoint", "backup", t0 + dur,
+                "{\"instructions\":" + std::to_string(n) +
+                    ",\"period\":" +
+                    std::to_string(checkpointPeriod) + "}");
+        }
+    }
+
+    /** One instruction committed (functional). */
+    void
+    commitInstr(Seconds t0, Seconds dur, std::size_t pc, int op)
+    {
+        if (committed_ != nullptr) {
+            committed_->increment();
+        }
+        ++burst_;
+        if (wantsEvents()) {
+            sink_->complete("instr", "exec", t0, dur,
+                            "{\"pc\":" + std::to_string(pc) +
+                                ",\"op\":" + std::to_string(op) +
+                                "}");
+            sink_->instant("checkpoint", "backup", t0 + dur);
+        }
+    }
+
+    /** An attempt died mid-instruction; the outage window opens. */
+    void
+    outageBegin(Seconds t, Seconds attemptDur, Joules wasted)
+    {
+        if (dead_ != nullptr) {
+            dead_->increment();
+            outages_->increment();
+            burstInstr_->sample(static_cast<double>(burst_));
+        }
+        burst_ = 0;
+        offSince_ = t + attemptDur;
+        if (wantsEvents()) {
+            sink_->complete("dead_attempt", "exec", t, attemptDur,
+                            "{\"wasted_j\":" + jnum(wasted) + "}");
+            sink_->instant("power_off", "power", offSince_);
+            sink_->counter("power_state", "power", offSince_, 0.0);
+        }
+    }
+
+    /** Replayed instructions after a restart are Dead work too. */
+    void
+    deadReplay(std::uint64_t n, Seconds t0, Seconds dur)
+    {
+        if (dead_ != nullptr) {
+            dead_->increment();
+        }
+        if (wantsEvents()) {
+            sink_->complete(
+                "replay", "exec", t0, dur,
+                "{\"instructions\":" + std::to_string(n) + "}");
+        }
+    }
+
+    /** The capacitor refilled; power is back at @p t. */
+    void
+    rechargeDone(Seconds t)
+    {
+        if (recharges_ != nullptr) {
+            recharges_->increment();
+            if (offSince_ >= 0.0) {
+                outageDur_->sample(t - offSince_);
+            }
+        }
+        if (wantsEvents() && offSince_ >= 0.0) {
+            sink_->complete("outage", "power", offSince_,
+                            t - offSince_);
+            sink_->instant("power_on", "power", t);
+            sink_->counter("power_state", "power", t, 1.0);
+        }
+        offSince_ = -1.0;
+    }
+
+    /** Restart protocol re-issued the activation journal. */
+    void
+    restore(Seconds t0, Seconds dur, Joules energy)
+    {
+        if (restores_ != nullptr) {
+            restores_->increment();
+        }
+        if (wantsEvents()) {
+            sink_->complete("restore", "power", t0, dur,
+                            "{\"energy_j\":" + jnum(energy) + "}");
+        }
+    }
+
+    /** Waveform sample, rate-limited to the configured period. */
+    void
+    maybeSample(Seconds t, Volts v, Watts p)
+    {
+        if (vMin_ != nullptr) {
+            vMin_->observe(v);
+            vMax_->observe(v);
+        }
+        if (!wantsWaveform() ||
+            (lastSample_ >= 0.0 &&
+             t - lastSample_ < cfg_.waveformPeriod)) {
+            return;
+        }
+        lastSample_ = t;
+        sink_->sample(t, v, p);
+    }
+
+    /**
+     * Synthesize waveform samples for an analytic constant-power
+     * recharge from @p v0 to @p v1: v(t) = sqrt(v0^2 + 2 P t / C).
+     */
+    void
+    sampleRecharge(Seconds t0, Seconds dt, Volts v0, Volts v1,
+                   Farads c, Watts p)
+    {
+        if (!wantsWaveform() || dt <= 0.0) {
+            maybeSample(t0 + dt, v1, p);
+            return;
+        }
+        const double steps = std::clamp(
+            std::floor(dt / cfg_.waveformPeriod), 1.0, 256.0);
+        const Seconds step = dt / steps;
+        for (double k = 1.0; k <= steps; k += 1.0) {
+            const Seconds at = step * k;
+            const Volts v = std::sqrt(v0 * v0 + 2.0 * p * at / c);
+            maybeSample(t0 + at, std::min(v, v1), p);
+        }
+    }
+
+    /** Close out the run: totals, shares, and overflow counters. */
+    void
+    finalize(const RunStats &stats)
+    {
+        if (reg_ != nullptr) {
+            if (burst_ > 0 && outages_->value() > 0) {
+                burstInstr_->sample(static_cast<double>(burst_));
+            }
+            auto set = [&](const char *name, double v,
+                           const char *desc) {
+                reg_->scalar(name, obs::MergePolicy::kSum, desc)
+                    .observe(v);
+            };
+            set("sim.energy.compute_j", stats.computeEnergy,
+                "energy of committed instructions");
+            set("sim.energy.backup_j", stats.backupEnergy,
+                "checkpoint-write energy");
+            set("sim.energy.dead_j", stats.deadEnergy,
+                "energy of attempts an outage killed");
+            set("sim.energy.restore_j", stats.restoreEnergy,
+                "restart-protocol energy");
+            set("sim.energy.idle_j", stats.idleEnergy,
+                "standby leakage while energized");
+            set("sim.energy.total_j", stats.totalEnergy(),
+                "total load-side energy");
+            set("sim.time.active_s", stats.activeTime,
+                "time executing committed instructions");
+            set("sim.time.dead_s", stats.deadTime,
+                "time lost to killed attempts");
+            set("sim.time.restore_s", stats.restoreTime,
+                "time re-issuing activations");
+            set("sim.time.charging_s", stats.chargingTime,
+                "time powered off, recharging");
+            set("sim.time.total_s", stats.totalTime(),
+                "end-to-end simulated time");
+            reg_->formula(
+                "sim.energy.dead_share",
+                [](const obs::StatRegistry &r) {
+                    const double total =
+                        r.scalarValue("sim.energy.total_j");
+                    return total > 0.0
+                               ? r.scalarValue(
+                                     "sim.energy.dead_j") /
+                                     total
+                               : 0.0;
+                },
+                "dead / total energy (Fig. 10-12 commentary)");
+            reg_->formula(
+                "sim.energy.backup_share",
+                [](const obs::StatRegistry &r) {
+                    const double total =
+                        r.scalarValue("sim.energy.total_j");
+                    return total > 0.0
+                               ? r.scalarValue(
+                                     "sim.energy.backup_j") /
+                                     total
+                               : 0.0;
+                },
+                "backup / total energy");
+            reg_->formula(
+                "sim.time.charging_share",
+                [](const obs::StatRegistry &r) {
+                    const double total =
+                        r.scalarValue("sim.time.total_s");
+                    return total > 0.0
+                               ? r.scalarValue(
+                                     "sim.time.charging_s") /
+                                     total
+                               : 0.0;
+                },
+                "charging / total time");
+            if (sink_ != nullptr) {
+                reg_->counter("obs.trace.dropped_events",
+                              "events lost to the buffer cap") +=
+                    sink_->droppedEvents();
+                reg_->counter("obs.trace.dropped_samples",
+                              "waveform samples lost to the cap") +=
+                    sink_->droppedSamples();
+            }
+        }
+        if (sink_ != nullptr && sink_->droppedEvents() > 0) {
+            mouse_warn("trace sink dropped %llu events (raise "
+                       "TraceConfig.maxEvents)",
+                       static_cast<unsigned long long>(
+                           sink_->droppedEvents()));
+        }
+    }
+
+  private:
+    static std::string
+    jnum(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    }
+
+    obs::TraceConfig cfg_{};
+    obs::StatRegistry *reg_ = nullptr;
+    obs::TraceSink *sink_ = nullptr;
+    obs::Counter *committed_ = nullptr;
+    obs::Counter *dead_ = nullptr;
+    obs::Counter *outages_ = nullptr;
+    obs::Counter *restores_ = nullptr;
+    obs::Counter *recharges_ = nullptr;
+    obs::Histogram *outageDur_ = nullptr;
+    obs::Histogram *burstInstr_ = nullptr;
+    obs::Scalar *vMin_ = nullptr;
+    obs::Scalar *vMax_ = nullptr;
+    /** Instructions committed since the last outage. */
+    std::uint64_t burst_ = 0;
+    /** Start of the current off period; -1 while powered. */
+    Seconds offSince_ = -1.0;
+    Seconds lastSample_ = -1.0;
+};
+
 /** Shared harvesting-loop state. */
 struct HarvestEnv
 {
-    HarvestEnv(const EnergyModel &energy, const HarvestConfig &cfg)
+    HarvestEnv(const EnergyModel &energy, const HarvestConfig &cfg,
+               SimProbe *probe)
         : cap(cfg.capacitanceOverride > 0.0
                   ? cfg.capacitanceOverride
                   : energy.config().bufferCapacitance,
@@ -52,7 +363,8 @@ struct HarvestEnv
           source(cfg.source ? *cfg.source : constantSource),
           varying(cfg.source != nullptr),
           vLow(energy.config().capVoltageLow),
-          vHigh(energy.config().capVoltageHigh)
+          vHigh(energy.config().capVoltageHigh),
+          probe(probe)
     {
     }
 
@@ -68,11 +380,17 @@ struct HarvestEnv
     rechargeTo(Volts v, RunStats &stats)
     {
         if (!varying) {
-            const Seconds dt =
-                cap.timeToCharge(v, source.power(now));
+            const Watts p = source.power(now);
+            const Seconds dt = cap.timeToCharge(v, p);
+            MOUSE_OBS_HOOK(probe,
+                           probe->sampleRecharge(now, dt,
+                                                 cap.voltage(), v,
+                                                 cap.capacitance(),
+                                                 p));
             stats.chargingTime += dt;
             now += dt;
             cap.setVoltage(v);
+            MOUSE_OBS_HOOK(probe, probe->rechargeDone(now));
             return;
         }
         // Time-varying source: integrate numerically.  Step size is
@@ -87,12 +405,16 @@ struct HarvestEnv
             cap.charge(p, std::min(dt, estimate));
             now += std::min(dt, estimate);
             charged += std::min(dt, estimate);
+            MOUSE_OBS_HOOK(probe,
+                           probe->maybeSample(now, cap.voltage(),
+                                              p));
             if (charged > 1e7) {
                 mouse_fatal("source never refills the buffer "
                             "(charged for >115 days of sim time)");
             }
         }
         stats.chargingTime += charged;
+        MOUSE_OBS_HOOK(probe, probe->rechargeDone(now));
     }
 
     Joules
@@ -115,6 +437,7 @@ struct HarvestEnv
     bool varying;
     Volts vLow;
     Volts vHigh;
+    SimProbe *probe;
     /** Absolute simulation time (for time-varying sources). */
     Seconds now = 0.0;
 };
@@ -122,32 +445,45 @@ struct HarvestEnv
 } // namespace
 
 RunStats
-runContinuousFunctional(Controller &ctrl)
+runContinuousFunctional(Controller &ctrl, obs::Telemetry *telem)
 {
     RunStats stats;
+    SimProbe probe(telem);
     const Seconds cycle = ctrl.energyModel().cycleTime();
     while (!ctrl.halted()) {
+        const std::size_t pc = ctrl.pc();
         const StepResult r = ctrl.step();
         stats.computeEnergy += r.energy - r.backupEnergy;
         stats.backupEnergy += r.backupEnergy;
         stats.activeTime += cycle;
         if (!r.halted) {
             ++stats.instructionsCommitted;
+            MOUSE_OBS_HOOK(telem,
+                           probe.commitInstr(
+                               stats.activeTime - cycle, cycle, pc,
+                               static_cast<int>(r.inst.op)));
         }
     }
     stats.idleEnergy +=
         ctrl.energyModel().idlePower() * stats.activeTime;
+    MOUSE_OBS_HOOK(telem, probe.finalize(stats));
     return stats;
 }
 
 RunStats
-runContinuousTrace(const Trace &trace, const EnergyModel &energy)
+runContinuousTrace(const Trace &trace, const EnergyModel &energy,
+                   obs::Telemetry *telem)
 {
     RunStats stats;
+    SimProbe probe(telem);
     const Seconds cycle = energy.cycleTime();
     for (const TraceBlock &blk : trace.blocks) {
         const InstrCost cost = traceInstrCost(energy, blk);
         const double n = static_cast<double>(blk.count);
+        MOUSE_OBS_HOOK(telem,
+                       probe.commitChunk(blk.count,
+                                         stats.activeTime,
+                                         cycle * n, 1));
         stats.computeEnergy += cost.exec * n;
         stats.backupEnergy += cost.backup * n;
         stats.activeTime += cycle * n;
@@ -155,16 +491,19 @@ runContinuousTrace(const Trace &trace, const EnergyModel &energy)
     }
     stats.idleEnergy +=
         energy.idlePower() * stats.activeTime;
+    MOUSE_OBS_HOOK(telem, probe.finalize(stats));
     return stats;
 }
 
 RunStats
 runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
-                  const HarvestConfig &harvest)
+                  const HarvestConfig &harvest,
+                  obs::Telemetry *telem)
 {
     RunStats stats;
+    SimProbe probe(telem);
     const Seconds cycle = energy.cycleTime();
-    HarvestEnv env(energy, harvest);
+    HarvestEnv env(energy, harvest, telem ? &probe : nullptr);
     env.rechargeTo(env.vHigh, stats);
 
     const unsigned period = std::max(1u, harvest.checkpointPeriod);
@@ -199,6 +538,7 @@ runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
             if (n > 0) {
                 consecutive_failures = 0;
                 const double nd = static_cast<double>(n);
+                const Seconds t0 = env.now;
                 env.cap.draw(net * nd);
                 env.advance(cycle * nd);
                 stats.computeEnergy += cost.exec * nd;
@@ -207,15 +547,27 @@ runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
                 stats.instructionsCommitted += n;
                 uncheckpointed = (uncheckpointed + n) % period;
                 remaining -= n;
+                MOUSE_OBS_HOOK(telem, {
+                    probe.commitChunk(n, t0, env.now - t0, period);
+                    probe.maybeSample(
+                        env.now, env.cap.voltage(),
+                        env.source.power(env.now));
+                });
                 continue;
             }
             // Outage mid-instruction: the attempt drains the buffer
             // to the shutdown voltage and all of it is Dead.
             const double fraction =
                 buffer_cost > 0.0 ? avail / buffer_cost : 0.0;
-            stats.deadEnergy +=
+            const Joules wasted =
                 avail * env.converter.efficiency();
+            stats.deadEnergy += wasted;
             stats.deadTime += cycle * std::min(1.0, fraction);
+            MOUSE_OBS_HOOK(
+                telem,
+                probe.outageBegin(env.now,
+                                  cycle * std::min(1.0, fraction),
+                                  wasted));
             env.advance(cycle * std::min(1.0, fraction));
             ++stats.instructionsDead;
             ++stats.outages;
@@ -228,6 +580,8 @@ runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
                 energy.restoreEnergy(1, blk.activeColsAfter);
             stats.restoreEnergy += restore;
             stats.restoreTime += cycle;
+            MOUSE_OBS_HOOK(telem,
+                           probe.restore(env.now, cycle, restore));
             env.advance(cycle);
             env.drawLoad(restore);
 
@@ -242,6 +596,10 @@ runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
                 stats.deadEnergy += replay_cost;
                 stats.deadTime += cycle * replay;
                 ++stats.instructionsDead;
+                MOUSE_OBS_HOOK(telem,
+                               probe.deadReplay(uncheckpointed,
+                                                env.now,
+                                                cycle * replay));
                 env.advance(cycle * replay);
                 env.drawLoad(replay_cost);
                 uncheckpointed = 0;
@@ -258,6 +616,7 @@ runHarvestedTrace(const Trace &trace, const EnergyModel &energy,
         }
     }
     stats.idleEnergy += energy.idlePower() * stats.activeTime;
+    MOUSE_OBS_HOOK(telem, probe.finalize(stats));
     return stats;
 }
 
@@ -288,12 +647,14 @@ microStepFor(double fraction, Rng &rng)
 } // namespace
 
 RunStats
-runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
+runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest,
+                       obs::Telemetry *telem)
 {
     RunStats stats;
+    SimProbe probe(telem);
     const EnergyModel &energy = ctrl.energyModel();
     const Seconds cycle = energy.cycleTime();
-    HarvestEnv env(energy, harvest);
+    HarvestEnv env(energy, harvest, telem ? &probe : nullptr);
     Rng rng(harvest.seed);
     env.rechargeTo(env.vHigh, stats);
 
@@ -318,6 +679,7 @@ runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
 
         if (avail >= buffer_cost) {
             consecutive_failures = 0;
+            const std::size_t pc = ctrl.pc();
             const StepResult r = ctrl.step();
             env.drawLoad(r.energy);
             // Source credit for the cycle, capped at the window top.
@@ -331,6 +693,12 @@ runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
             stats.activeTime += cycle;
             if (!r.halted) {
                 ++stats.instructionsCommitted;
+                MOUSE_OBS_HOOK(telem, {
+                    probe.commitInstr(env.now - cycle, cycle, pc,
+                                      static_cast<int>(r.inst.op));
+                    probe.maybeSample(env.now, env.cap.voltage(),
+                                      env.source.power(env.now));
+                });
             }
             continue;
         }
@@ -346,6 +714,11 @@ runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
         env.cap.draw(env.available());  // drained to the threshold
         stats.deadEnergy += wasted;
         stats.deadTime += cycle * std::min(1.0, fraction);
+        MOUSE_OBS_HOOK(
+            telem,
+            probe.outageBegin(env.now,
+                              cycle * std::min(1.0, fraction),
+                              wasted));
         env.advance(cycle * std::min(1.0, fraction));
         ++stats.instructionsDead;
         ++stats.outages;
@@ -356,6 +729,12 @@ runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
         stats.restoreEnergy += rr.restoreEnergy;
         stats.restoreTime +=
             cycle * static_cast<double>(rr.restoreCycles);
+        MOUSE_OBS_HOOK(
+            telem,
+            probe.restore(env.now,
+                          cycle *
+                              static_cast<double>(rr.restoreCycles),
+                          rr.restoreEnergy));
         env.advance(cycle * static_cast<double>(rr.restoreCycles));
         env.drawLoad(rr.restoreEnergy);
 
@@ -367,6 +746,7 @@ runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest)
         }
     }
     stats.idleEnergy += energy.idlePower() * stats.activeTime;
+    MOUSE_OBS_HOOK(telem, probe.finalize(stats));
     return stats;
 }
 

@@ -31,6 +31,7 @@
 #include "harvest/capacitor.hh"
 #include "harvest/converter.hh"
 #include "harvest/power_source.hh"
+#include "obs/telemetry.hh"
 #include "sim/stats.hh"
 
 namespace mouse
@@ -74,12 +75,22 @@ struct HarvestConfig
     std::uint64_t seed = 1;
 };
 
-/** Continuous-power functional run of a full program. */
-RunStats runContinuousFunctional(Controller &ctrl);
+/**
+ * Continuous-power functional run of a full program.
+ *
+ * All runners take an optional telemetry bundle (see
+ * obs/telemetry.hh); when null — the default — no stats, events or
+ * waveform samples are recorded and the hot loops pay only a
+ * never-taken branch.  Telemetry observes: it never changes the
+ * RunStats a run produces.
+ */
+RunStats runContinuousFunctional(Controller &ctrl,
+                                 obs::Telemetry *telem = nullptr);
 
 /** Continuous-power analytical run of a compressed trace. */
 RunStats runContinuousTrace(const Trace &trace,
-                            const EnergyModel &energy);
+                            const EnergyModel &energy,
+                            obs::Telemetry *telem = nullptr);
 
 /**
  * Harvested functional run: executes the program against the
@@ -92,13 +103,15 @@ RunStats runContinuousTrace(const Trace &trace,
  *         cannot cover even one instruction plus restore).
  */
 RunStats runHarvestedFunctional(Controller &ctrl,
-                                const HarvestConfig &harvest);
+                                const HarvestConfig &harvest,
+                                obs::Telemetry *telem = nullptr);
 
 /** Harvested trace run: same environment model over a compressed
  *  trace. */
 RunStats runHarvestedTrace(const Trace &trace,
                            const EnergyModel &energy,
-                           const HarvestConfig &harvest);
+                           const HarvestConfig &harvest,
+                           obs::Telemetry *telem = nullptr);
 
 } // namespace mouse
 

@@ -301,6 +301,66 @@ TEST_F(SimTest, CheckpointPeriodOneIsDefaultBehaviour)
     EXPECT_DOUBLE_EQ(ra.totalTime(), rb.totalTime());
 }
 
+TEST(RunStatsDerived, SharesAreZeroWhenTotalsAreZero)
+{
+    // A default-constructed RunStats has zero totals; every derived
+    // share must return 0, not NaN, so JSON dumps stay parseable and
+    // comparisons stay meaningful.
+    const RunStats zero;
+    EXPECT_DOUBLE_EQ(zero.totalTime(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.totalEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.deadEnergyShare(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.backupEnergyShare(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.restoreEnergyShare(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.deadTimeShare(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.restoreTimeShare(), 0.0);
+}
+
+TEST(RunStatsDerived, SharesPartitionTheTotals)
+{
+    RunStats s;
+    s.activeTime = 3.0;
+    s.deadTime = 1.0;
+    s.restoreTime = 0.5;
+    s.chargingTime = 0.5;
+    s.computeEnergy = 6.0;
+    s.backupEnergy = 2.0;
+    s.deadEnergy = 1.0;
+    s.restoreEnergy = 0.5;
+    s.idleEnergy = 0.5;
+    EXPECT_DOUBLE_EQ(s.totalTime(), 5.0);
+    EXPECT_DOUBLE_EQ(s.totalEnergy(), 10.0);
+    EXPECT_DOUBLE_EQ(s.deadEnergyShare(), 0.1);
+    EXPECT_DOUBLE_EQ(s.backupEnergyShare(), 0.2);
+    EXPECT_DOUBLE_EQ(s.restoreEnergyShare(), 0.05);
+    EXPECT_DOUBLE_EQ(s.deadTimeShare(), 0.2);
+    EXPECT_DOUBLE_EQ(s.restoreTimeShare(), 0.1);
+}
+
+TEST(RunStatsDerived, SummaryIsCompleteForZeroAndPopulatedStats)
+{
+    // summary() on all-zero stats must not emit nan/inf anywhere.
+    const std::string zero = RunStats{}.summary();
+    EXPECT_EQ(zero.find("nan"), std::string::npos) << zero;
+    EXPECT_EQ(zero.find("inf"), std::string::npos) << zero;
+    EXPECT_NE(zero.find("instructions: 0 committed"),
+              std::string::npos)
+        << zero;
+
+    RunStats s;
+    s.instructionsCommitted = 12;
+    s.instructionsDead = 3;
+    s.outages = 2;
+    s.activeTime = 1e-6;
+    s.computeEnergy = 4e-6;
+    const std::string text = s.summary();
+    EXPECT_NE(text.find("12 committed"), std::string::npos) << text;
+    EXPECT_NE(text.find("3 dead"), std::string::npos) << text;
+    EXPECT_NE(text.find("2 outages"), std::string::npos) << text;
+    EXPECT_NE(text.find("latency [us]"), std::string::npos) << text;
+    EXPECT_NE(text.find("energy [uJ]"), std::string::npos) << text;
+}
+
 TEST(SimNonTermination, DetectedAndFatal)
 {
     // A giant per-instruction cost (4096-wide activation on modern

@@ -19,12 +19,30 @@
  * --json prints machine-readable RunResult/SweepResult serializations
  * so benches and CI can diff results without scraping tables.  Sweep
  * point results are byte-identical for any --threads value.
+ *
+ * bench/sweep also take telemetry outputs (docs/OBSERVABILITY.md):
+ *   --stats-out PATH     stat-registry tree (JSON; .csv gives a flat
+ *                        table)
+ *   --trace-out PATH     Chrome trace_event JSON (load in Perfetto or
+ *                        chrome://tracing)
+ *   --waveform-out PATH  capacitor-voltage / harvested-power CSV
+ *   --json-out PATH      the --json document, written to a file
+ * Output paths are validated (opened) before any simulation runs; an
+ * unwritable path exits 2 immediately.  A live progress/ETA line is
+ * shown on stderr when it is a terminal, or when --progress is given;
+ * stdout stays byte-identical either way.
  */
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "energy/area_model.hh"
 #include "exp/names.hh"
@@ -49,6 +67,15 @@ usage()
         "  analyze NAME [--tech T]\n"
         "  area    MB [--tech T]\n"
         "  list\n"
+        "bench/sweep outputs:\n"
+        "  --stats-out PATH     stat registry (JSON, or CSV if PATH "
+        "ends .csv)\n"
+        "  --trace-out PATH     Chrome trace_event JSON "
+        "(Perfetto-loadable)\n"
+        "  --waveform-out PATH  capacitor voltage / harvest power "
+        "CSV\n"
+        "  --json-out PATH      --json document written to PATH\n"
+        "  --progress           force the stderr progress/ETA line\n"
         "tech: modern-stt | projected-stt | she\n"
         "benchmarks: mnist mnist-bin har adult finn fpbnn\n");
     return 2;
@@ -63,7 +90,176 @@ struct Options
     bool json = false;
     /** Worker threads for sweep; 0 = hardware_concurrency. */
     unsigned threads = 0;
+    /** Telemetry output paths; empty means the channel is off. */
+    std::string statsOut;
+    std::string traceOut;
+    std::string waveformOut;
+    std::string jsonOut;
+    /** Show the stderr progress line even when not a terminal. */
+    bool progress = false;
 };
+
+/**
+ * An output file claimed before the run starts, so a typo'd path
+ * fails in milliseconds instead of after a long sweep.
+ */
+class OutputFile
+{
+  public:
+    OutputFile() = default;
+    OutputFile(const OutputFile &) = delete;
+    OutputFile &operator=(const OutputFile &) = delete;
+
+    ~OutputFile()
+    {
+        if (fp_) {
+            std::fclose(fp_);
+        }
+    }
+
+    /** @return false (with a stderr message) if PATH is unwritable. */
+    bool
+    open(const std::string &path)
+    {
+        if (path.empty()) {
+            return true;
+        }
+        path_ = path;
+        fp_ = std::fopen(path.c_str(), "wb");
+        if (!fp_) {
+            std::fprintf(stderr,
+                         "mouse_cli: cannot open '%s' for writing: "
+                         "%s\n",
+                         path.c_str(), std::strerror(errno));
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    wanted() const
+    {
+        return fp_ != nullptr;
+    }
+
+    void
+    write(const std::string &body)
+    {
+        if (!fp_) {
+            return;
+        }
+        std::fwrite(body.data(), 1, body.size(), fp_);
+        std::fclose(fp_);
+        fp_ = nullptr;
+    }
+
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+  private:
+    std::string path_;
+    FILE *fp_ = nullptr;
+};
+
+/** The telemetry outputs of one bench/sweep invocation. */
+struct Outputs
+{
+    OutputFile stats;
+    OutputFile trace;
+    OutputFile waveform;
+    OutputFile json;
+
+    /** Claim every requested path; false aborts the command. */
+    bool
+    open(const Options &opts)
+    {
+        return stats.open(opts.statsOut) &&
+               trace.open(opts.traceOut) &&
+               waveform.open(opts.waveformOut) &&
+               json.open(opts.jsonOut);
+    }
+
+    /** Channels to record, derived from which files were asked for. */
+    obs::TraceConfig
+    traceConfig() const
+    {
+        obs::TraceConfig cfg;
+        cfg.stats = stats.wanted();
+        cfg.events = trace.wanted();
+        cfg.waveform = trace.wanted() || waveform.wanted();
+        return cfg;
+    }
+
+    void
+    writeTelemetry(const exp::SweepResult &res)
+    {
+        if (res.stats) {
+            const bool csv =
+                stats.path().size() >= 4 &&
+                stats.path().compare(stats.path().size() - 4, 4,
+                                     ".csv") == 0;
+            stats.write(csv ? res.stats->toCsv()
+                            : res.stats->toJson() + "\n");
+        }
+        if (res.trace) {
+            trace.write(res.trace->toChromeJson() + "\n");
+            waveform.write(res.trace->waveformCsv());
+        }
+    }
+};
+
+/** Throttled stderr progress/ETA line ("12/18 points ... eta 0.4s"). */
+class ProgressMeter
+{
+  public:
+    void
+    report(std::size_t done, std::size_t total)
+    {
+        const auto now = std::chrono::steady_clock::now();
+        if (done < total && started_ &&
+            now - last_ < std::chrono::milliseconds(100)) {
+            return;
+        }
+        started_ = true;
+        last_ = now;
+        const double secs =
+            std::chrono::duration<double>(now - start_).count();
+        const double eta =
+            done > 0 ? secs * static_cast<double>(total - done) /
+                           static_cast<double>(done)
+                     : 0.0;
+        std::fprintf(stderr,
+                     "\r%zu/%zu points (%3.0f%%) eta %5.1fs ", done,
+                     total,
+                     100.0 * static_cast<double>(done) /
+                         static_cast<double>(total ? total : 1),
+                     eta);
+        if (done >= total) {
+            std::fprintf(stderr, "\n");
+        }
+        std::fflush(stderr);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point last_{};
+    bool started_ = false;
+};
+
+bool
+progressWanted(const Options &opts)
+{
+#ifndef _WIN32
+    if (isatty(fileno(stderr))) {
+        return true;
+    }
+#endif
+    return opts.progress;
+}
 
 bool
 parseFlags(int argc, char **argv, int start, Options &opts)
@@ -98,6 +294,20 @@ parseFlags(int argc, char **argv, int start, Options &opts)
             opts.continuous = true;
         } else if (!std::strcmp(argv[i], "--json")) {
             opts.json = true;
+        } else if (!std::strcmp(argv[i], "--stats-out") &&
+                   i + 1 < argc) {
+            opts.statsOut = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace-out") &&
+                   i + 1 < argc) {
+            opts.traceOut = argv[++i];
+        } else if (!std::strcmp(argv[i], "--waveform-out") &&
+                   i + 1 < argc) {
+            opts.waveformOut = argv[++i];
+        } else if (!std::strcmp(argv[i], "--json-out") &&
+                   i + 1 < argc) {
+            opts.jsonOut = argv[++i];
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            opts.progress = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return false;
@@ -159,14 +369,21 @@ cmdInfo(const Options &opts)
 int
 cmdBench(const exp::Benchmark &b, const Options &opts)
 {
+    Outputs out;
+    if (!out.open(opts)) {
+        return 2;
+    }
     exp::SweepGrid grid;
     grid.techs = {opts.tech};
     grid.benchmarks = {b};
     grid.powers = {opts.continuous ? exp::kContinuousPower
                                    : opts.power};
+    grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(1);
     const exp::SweepResult res = runner.run(grid);
     const RunResult &r = res.points.front();
+    out.writeTelemetry(res);
+    out.json.write(r.toJson() + "\n");
     if (opts.json) {
         std::printf("%s\n", r.toJson().c_str());
         return 0;
@@ -194,12 +411,26 @@ cmdBench(const exp::Benchmark &b, const Options &opts)
 int
 cmdSweep(const exp::Benchmark &b, const Options &opts)
 {
+    Outputs out;
+    if (!out.open(opts)) {
+        return 2;
+    }
     exp::SweepGrid grid;
     grid.techs = {opts.tech};
     grid.benchmarks = {b};
     grid.powers = exp::powerSweep();
+    grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(opts.threads);
+    ProgressMeter meter;
+    if (progressWanted(opts)) {
+        runner.setProgress([&meter](std::size_t done,
+                                    std::size_t total) {
+            meter.report(done, total);
+        });
+    }
     const exp::SweepResult res = runner.run(grid);
+    out.writeTelemetry(res);
+    out.json.write(res.toJson() + "\n");
     if (opts.json) {
         std::printf("%s\n", res.toJson().c_str());
         return 0;
