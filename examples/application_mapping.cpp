@@ -67,7 +67,7 @@ main()
         acc.grid().tile(1).setBit(static_cast<RowAddr>(4 + 2 * i), 1,
                                   (d >> i) & 1);
     }
-    const RunStats stats = acc.runContinuous();
+    const RunStats stats = acc.execute(RunRequest{}).stats;
 
     auto read_sum = [&](ColAddr col) {
         unsigned v = 0;

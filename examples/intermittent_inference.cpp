@@ -123,7 +123,10 @@ main()
         }
         acc.loadProgram(prog);
         harvest.seed = 1000 + t;
-        const RunStats stats = acc.runHarvested(harvest);
+        RunRequest req;
+        req.power = PowerMode::Harvested;
+        req.harvest = harvest;
+        const RunStats stats = acc.execute(req).stats;
         total_outages += stats.outages;
 
         // Read the per-SV squared dots; finish the weighted sum.

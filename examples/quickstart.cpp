@@ -64,7 +64,9 @@ main()
     // Run 1: continuous power.
     acc.loadProgram(prog);
     seed(acc);
-    const RunStats cont = acc.runContinuous();
+    RunRequest contReq;
+    contReq.power = PowerMode::Continuous;
+    const RunStats cont = acc.execute(contReq).stats;
     std::printf("\ncontinuous power:\n%s\n", cont.summary().c_str());
 
     // Run 2: a 60 uW harvester with a deliberately tiny buffer
@@ -76,7 +78,10 @@ main()
     HarvestConfig harvest;
     harvest.sourcePower = 60e-6;
     harvest.capacitanceOverride = 200e-12;  // 200 pF demo buffer
-    const RunStats harv = harvested.runHarvested(harvest);
+    RunRequest harvReq;
+    harvReq.power = PowerMode::Harvested;
+    harvReq.harvest = harvest;
+    const RunStats harv = harvested.execute(harvReq).stats;
     std::printf("\n60 uW harvesting (%llu outages):\n%s\n",
                 static_cast<unsigned long long>(harv.outages),
                 harv.summary().c_str());

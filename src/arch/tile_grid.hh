@@ -96,6 +96,14 @@ class TileGrid
     Tile &tile(TileAddr addr);
     const Tile &tile(TileAddr addr) const;
 
+    /** True once @p addr has been touched (const tile() requires
+     *  it; state-capture code checks before snapshotting). */
+    bool
+    tileAllocated(TileAddr addr) const
+    {
+        return addr < tiles_.size() && tiles_[addr] != nullptr;
+    }
+
     const ColumnSet &activeColumns() const { return active_; }
 
     /**

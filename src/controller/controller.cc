@@ -80,6 +80,14 @@ ActJournal
 Controller::journalAfter(const Instruction &inst) const
 {
     ActJournal j = inst.clearActivation ? ActJournal{} : actReg_.read();
+    // Re-checkpointing the journal's own tail entry is a no-op: an
+    // outage between the ACT-register commit and the PC commit makes
+    // the ACT instruction re-execute, and appending it again on every
+    // such replay would grow the journal past its depth even though
+    // the latch state it encodes is unchanged.
+    if (j.count > 0 && j.entries[j.count - 1] == inst) {
+        return j;
+    }
     if (j.count >= ActJournal::kDepth) {
         mouse_fatal("more than %zu consecutive additive Activate "
                     "Columns instructions; the NV journal register "
@@ -191,6 +199,13 @@ Controller::stepInterrupted(MicroStep at, double fraction)
     pcReg_.writeInvalid(pcReg_.read() + 1);
     energy += energy_.backupEnergyPerCycle();
     return energy;
+}
+
+void
+Controller::rollbackPc(std::size_t pc)
+{
+    pcReg_.writeInvalid(static_cast<std::uint32_t>(pc));
+    pcReg_.commit();
 }
 
 void

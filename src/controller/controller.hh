@@ -139,6 +139,15 @@ class Controller
     RestartResult restart();
 
     /**
+     * Force the NV PC back to @p pc.  Not part of MOUSE's protocol
+     * (its PC checkpoints every cycle): this models the coarser
+     * checkpoint disciplines of baseline systems — a SONIC-style
+     * window restarts at its last checkpoint boundary and re-executes
+     * the window — for the fault-injection engine (src/inject).
+     */
+    void rollbackPc(std::size_t pc);
+
+    /**
      * Register this controller's counters ("controller.steps",
      * "controller.interrupted", "controller.restarts",
      * "controller.restore_cycles") with @p reg, which must outlive

@@ -31,8 +31,17 @@ Accelerator::execute(const RunRequest &req)
     const auto t0 = std::chrono::steady_clock::now();
     RunResult res;
     const bool harvested = req.power == PowerMode::Harvested;
+    const bool scheduled = req.power == PowerMode::Scheduled;
     if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
         mouse_fatal("RunRequest with Trace fidelity needs a trace");
+    }
+    if (scheduled && req.schedule == nullptr) {
+        mouse_fatal("RunRequest with Scheduled power needs a "
+                    "schedule");
+    }
+    if (scheduled && req.fidelity != Fidelity::Functional) {
+        mouse_fatal("Scheduled power requires Functional fidelity "
+                    "(outages land at bit-exact micro-steps)");
     }
     obs::Telemetry telem = obs::Telemetry::make(req.telemetry);
     obs::Telemetry *tp = telem.enabled() ? &telem : nullptr;
@@ -42,10 +51,16 @@ Accelerator::execute(const RunRequest &req)
     }
     switch (req.fidelity) {
       case Fidelity::Functional:
-        res.stats = harvested
-                        ? runHarvestedFunctional(*controller_,
-                                                 req.harvest, tp)
-                        : runContinuousFunctional(*controller_, tp);
+        if (scheduled) {
+            res.stats = runScheduledFunctional(*controller_,
+                                               *req.schedule,
+                                               req.maxAttempts, tp);
+        } else if (harvested) {
+            res.stats = runHarvestedFunctional(*controller_,
+                                               req.harvest, tp);
+        } else {
+            res.stats = runContinuousFunctional(*controller_, tp);
+        }
         break;
       case Fidelity::Trace:
         res.stats = harvested

@@ -54,6 +54,7 @@ class Accelerator
     TileGrid &grid() { return *grid_; }
     const TileGrid &grid() const { return *grid_; }
     Controller &controller() { return *controller_; }
+    const Controller &controller() const { return *controller_; }
 
     /** Write a program into the instruction tiles and reset the PC
      *  (the pre-deployment step of Section IV-B). */
@@ -69,17 +70,26 @@ class Accelerator
     RunResult execute(const RunRequest &req);
 
     // -- Legacy entry points: thin shims over execute() -------------
+    //
+    // Deprecated since the RunRequest API landed; every in-tree
+    // caller now uses execute().  Removal plan: one deprecation
+    // cycle, then deleted — see docs/EXPERIMENTS_API.md ("Legacy
+    // entry points").
 
     /** Functional run to HALT under continuous power. */
+    [[deprecated("build a RunRequest and call execute()")]]
     RunStats runContinuous();
 
     /** Functional run to HALT under the harvesting environment. */
+    [[deprecated("build a RunRequest and call execute()")]]
     RunStats runHarvested(const HarvestConfig &harvest);
 
     /** Performance-model run of a compressed trace. */
+    [[deprecated("build a RunRequest and call execute()")]]
     RunStats simulateContinuous(const Trace &trace) const;
 
     /** Performance-model run under harvesting. */
+    [[deprecated("build a RunRequest and call execute()")]]
     RunStats simulateHarvested(const Trace &trace,
                                const HarvestConfig &harvest) const;
 

@@ -87,6 +87,7 @@ std::string
 RunResult::toJson() const
 {
     std::string j = "{";
+    j += "\"schema\":" + std::to_string(kResultSchemaVersion) + ",";
     j += "\"point\":{";
     j += "\"index\":" + num(static_cast<std::uint64_t>(meta.index));
     j += ",\"tech\":\"" + jsonEscape(meta.tech) + "\"";

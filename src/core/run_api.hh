@@ -46,6 +46,12 @@ enum class PowerMode
     Continuous,
     /** Energy-harvesting environment (capacitor + source). */
     Harvested,
+    /**
+     * Scripted outages: power dies exactly at the attempts named by
+     * RunRequest::schedule (fault injection; Functional fidelity
+     * only).  See sim/outage_schedule.hh and docs/FAULT_INJECTION.md.
+     */
+    Scheduled,
 };
 
 /** Declarative description of one simulation run. */
@@ -53,8 +59,16 @@ struct RunRequest
 {
     Fidelity fidelity = Fidelity::Functional;
     PowerMode power = PowerMode::Continuous;
-    /** Harvesting environment; ignored under Continuous. */
+    /** Harvesting environment; only read under Harvested. */
     HarvestConfig harvest{};
+    /**
+     * Outage script; required for Scheduled power, ignored
+     * otherwise.  Non-owning: must outlive the execute() call.
+     */
+    const OutageSchedule *schedule = nullptr;
+    /** Attempt guard for Scheduled runs (0 = unlimited): a run that
+     *  has not halted after this many attempts stops early. */
+    std::uint64_t maxAttempts = 0;
     /**
      * Trace to simulate; required for Trace fidelity, ignored for
      * Functional (which runs the loaded program).  Non-owning: the
@@ -101,9 +115,15 @@ struct RunResult
     std::shared_ptr<obs::TraceSink> traceSink;
 
     /** Single-line JSON object (stats + meta + wall clock; the
-     *  stat_registry tree rides along when collected). */
+     *  stat_registry tree rides along when collected).  The leading
+     *  "schema" field versions the document — see
+     *  docs/EXPERIMENTS_API.md for the field order and meaning. */
     std::string toJson() const;
 };
+
+/** Version of every JSON document this API emits (RunResult,
+ *  SweepResult, and the injection reports of src/inject). */
+constexpr int kResultSchemaVersion = 2;
 
 /** JSON object for a RunStats (used by RunResult::toJson). */
 std::string toJson(const RunStats &stats);

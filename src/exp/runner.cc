@@ -212,7 +212,8 @@ std::string
 SweepResult::toJson() const
 {
     std::string j = "{";
-    j += "\"threads\":" + std::to_string(threads);
+    j += "\"schema\":" + std::to_string(kResultSchemaVersion);
+    j += ",\"threads\":" + std::to_string(threads);
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", wallSeconds);
     j += ",\"wall_seconds\":";

@@ -1,0 +1,130 @@
+#include "idempotence.hh"
+
+#include <unordered_set>
+
+#include "logic/gate.hh"
+
+namespace mouse::inject
+{
+
+namespace
+{
+
+/** Read/write footprint of one instruction over the machine's
+ *  replay-relevant resources. */
+struct Footprint
+{
+    std::vector<std::uint64_t> readRows;
+    std::vector<std::uint64_t> writeRows;
+    bool readsBuffer = false;
+    bool writesBuffer = false;
+    bool readsLatch = false;
+    bool writesLatch = false;
+};
+
+std::uint64_t
+rowKey(TileAddr tile, RowAddr row)
+{
+    return (static_cast<std::uint64_t>(tile) << 32) | row;
+}
+
+Footprint
+footprintOf(const Instruction &inst)
+{
+    Footprint fp;
+    switch (inst.op) {
+      case Opcode::kHalt:
+        break;
+      case Opcode::kActivateList:
+      case Opcode::kActivateRange:
+        fp.readsLatch = !inst.clearActivation;
+        fp.writesLatch = true;
+        break;
+      case Opcode::kReadRow:
+        fp.readRows.push_back(rowKey(inst.tile, inst.outRow));
+        fp.readsLatch = true;
+        fp.writesBuffer = true;
+        break;
+      case Opcode::kWriteRow:
+      case Opcode::kWriteRowShifted:
+        fp.readsBuffer = true;
+        fp.readsLatch = true;
+        fp.writeRows.push_back(rowKey(inst.tile, inst.outRow));
+        break;
+      case Opcode::kPreset0:
+      case Opcode::kPreset1:
+        fp.readsLatch = true;
+        fp.writeRows.push_back(rowKey(inst.tile, inst.outRow));
+        break;
+      default: {
+        const int n = gateNumInputs(gateFromOpcode(inst.op));
+        for (int i = 0; i < n; ++i) {
+            fp.readRows.push_back(
+                rowKey(inst.tile, inst.rows[static_cast<
+                                      std::size_t>(i)]));
+        }
+        fp.readsLatch = true;
+        fp.writeRows.push_back(rowKey(inst.tile, inst.outRow));
+        break;
+      }
+    }
+    return fp;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+idempotentCheckpoints(const Program &prog, unsigned period)
+{
+    std::vector<std::uint32_t> cps{0};
+    if (period <= 1) {
+        for (std::uint32_t pc = 1; pc < prog.size(); ++pc) {
+            cps.push_back(pc);
+        }
+        return cps;
+    }
+
+    // Read set of the window being grown.
+    std::unordered_set<std::uint64_t> windowReads;
+    bool windowReadsBuffer = false;
+    bool windowReadsLatch = false;
+    std::uint32_t windowStart = 0;
+
+    for (std::uint32_t pc = 0; pc < prog.size(); ++pc) {
+        const Instruction &inst = prog.instructions[pc];
+        if (inst.op == Opcode::kHalt) {
+            break;
+        }
+        const Footprint fp = footprintOf(inst);
+
+        bool hazard = false;
+        if ((fp.writesBuffer && windowReadsBuffer) ||
+            (fp.writesLatch && windowReadsLatch)) {
+            hazard = true;
+        }
+        for (std::uint64_t w : fp.writeRows) {
+            if (windowReads.count(w) != 0) {
+                hazard = true;
+                break;
+            }
+        }
+
+        if (pc > windowStart &&
+            (hazard || pc - windowStart >= period)) {
+            cps.push_back(pc);
+            windowStart = pc;
+            windowReads.clear();
+            windowReadsBuffer = false;
+            windowReadsLatch = false;
+        }
+
+        for (std::uint64_t r : fp.readRows) {
+            windowReads.insert(r);
+        }
+        windowReadsBuffer = windowReadsBuffer || fp.readsBuffer;
+        windowReadsLatch = windowReadsLatch || fp.readsLatch;
+    }
+    return cps;
+}
+
+} // namespace mouse::inject

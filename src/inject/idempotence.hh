@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Static idempotent-checkpoint placement for window-checkpointing
+ * (SONIC-style) baselines.
+ *
+ * Re-executing a window [checkpoint, cut] is sound iff every
+ * re-executed instruction sees the same inputs as its first
+ * execution, i.e. the window contains no write-after-read hazard:
+ * no instruction may write a resource (a tile row, the shared row
+ * buffer, or the column-activation latch) that an *earlier*
+ * instruction of the same window reads.  MOUSE's compiled kernels
+ * recycle scratch rows aggressively, so arbitrary windows are full
+ * of such hazards — exactly why SONIC's compiler only places
+ * checkpoints at idempotent section boundaries.
+ *
+ * idempotentCheckpoints() reproduces that placement: a greedy
+ * forward walk that starts a new window at the desired period or,
+ * earlier, at the first instruction whose writes collide with the
+ * running window's read set.  Read/write sets per opcode:
+ *
+ *   ACTIVATE (clear)   writes latch
+ *   ACTIVATE (add)     reads + writes latch
+ *   READROW            reads row, latch; writes buffer
+ *   WRITEROW[SHIFTED]  reads buffer, latch; writes row
+ *   PRESET0/1          reads latch; writes row
+ *   gates              read input rows, latch; write output row
+ *
+ * Write-after-write needs no boundary: replay re-runs the whole
+ * suffix in order, so the last writer still wins.
+ */
+
+#ifndef MOUSE_INJECT_IDEMPOTENCE_HH
+#define MOUSE_INJECT_IDEMPOTENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compile/program.hh"
+
+namespace mouse::inject
+{
+
+/**
+ * Hazard-safe checkpoint PCs for @p prog with a desired window of
+ * @p period instructions (actual windows may be shorter where a
+ * hazard forces an early boundary).  Always starts with PC 0;
+ * sorted ascending.  A period of 0 or 1 degenerates to a checkpoint
+ * at every instruction (MOUSE's own discipline).
+ */
+std::vector<std::uint32_t>
+idempotentCheckpoints(const Program &prog, unsigned period);
+
+} // namespace mouse::inject
+
+#endif // MOUSE_INJECT_IDEMPOTENCE_HH

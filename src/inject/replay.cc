@@ -1,0 +1,145 @@
+#include "replay.hh"
+
+#include "core/run_api.hh"
+#include "inject/idempotence.hh"
+
+namespace mouse::inject
+{
+
+namespace
+{
+
+/** Extract the balanced {...} object starting at text[pos] == '{';
+ *  empty string when unbalanced. */
+std::string
+extractObject(const std::string &text, std::size_t pos)
+{
+    if (pos >= text.size() || text[pos] != '{') {
+        return "";
+    }
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = pos; i < text.size(); ++i) {
+        const char c = text[i];
+        if (inString) {
+            if (c == '\\') {
+                ++i;
+            } else if (c == '"') {
+                inString = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            if (--depth == 0) {
+                return text.substr(pos, i - pos + 1);
+            }
+        }
+    }
+    return "";
+}
+
+/** Value start position of the first `"key":` occurrence. */
+std::size_t
+findValue(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) {
+        return std::string::npos;
+    }
+    std::size_t pos = at + needle.size();
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' ||
+            text[pos] == '\n' || text[pos] == '\r')) {
+        ++pos;
+    }
+    return pos;
+}
+
+} // namespace
+
+std::string
+replayArtifactJson(const std::string &workload,
+                   const OutageSchedule &schedule)
+{
+    std::string j = "{";
+    j += "\"schema\":" + std::to_string(kResultSchemaVersion);
+    j += ",\"workload\":\"" + jsonEscape(workload) + "\"";
+    j += ",\"schedule\":" + schedule.toJson();
+    j += "}";
+    return j;
+}
+
+std::optional<ReplayArtifact>
+parseReplayArtifact(const std::string &text)
+{
+    ReplayArtifact art;
+
+    std::size_t pos = findValue(text, "workload");
+    if (pos == std::string::npos || pos >= text.size() ||
+        text[pos] != '"') {
+        return std::nullopt;
+    }
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) {
+        return std::nullopt;
+    }
+    art.workload = text.substr(pos + 1, end - pos - 1);
+
+    // A campaign report's shortest reproducer is its first shrunk
+    // schedule; a standalone artifact has only "schedule".
+    std::size_t sched = findValue(text, "shrunk");
+    if (sched == std::string::npos) {
+        sched = findValue(text, "schedule");
+    }
+    if (sched == std::string::npos) {
+        return std::nullopt;
+    }
+    const std::string obj = extractObject(text, sched);
+    if (obj.empty()) {
+        return std::nullopt;
+    }
+    auto parsed = OutageSchedule::fromJson(obj);
+    if (!parsed) {
+        return std::nullopt;
+    }
+    art.schedule = std::move(*parsed);
+    return art;
+}
+
+PointOutcome
+replaySchedule(const CampaignWorkload &w,
+               const OutageSchedule &schedule)
+{
+    auto goldenAcc = freshRun(w);
+    RunRequest req;
+    req.fidelity = Fidelity::Functional;
+    req.power = PowerMode::Continuous;
+    const RunResult goldenRes = goldenAcc->execute(req);
+    const MachineState golden = captureState(*goldenAcc);
+    const std::uint64_t committed =
+        goldenRes.stats.instructionsCommitted;
+    goldenAcc.reset();
+
+    OutageSchedule s = schedule;
+    s.normalize();
+    if (s.checkpointPeriod > 1 && s.checkpoints.empty()) {
+        // Artifacts carry their checkpoints; recompute for
+        // hand-written ones.
+        s.checkpoints =
+            idempotentCheckpoints(w.program, s.checkpointPeriod);
+    }
+    return runSchedule(w, s, golden, committed,
+                       /* attemptGuard computed as in campaigns */
+                       committed + 1 +
+                           s.points.size() *
+                               (std::max(1u, s.checkpointPeriod) +
+                                2) +
+                           16);
+}
+
+} // namespace mouse::inject

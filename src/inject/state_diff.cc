@@ -1,0 +1,90 @@
+#include "state_diff.hh"
+
+#include <algorithm>
+
+namespace mouse::inject
+{
+
+MachineState
+captureState(const Accelerator &acc)
+{
+    MachineState st;
+    const TileGrid &grid = acc.grid();
+    const ArrayConfig &cfg = grid.config();
+    st.tiles.resize(cfg.numDataTiles);
+    for (TileAddr t = 0; t < cfg.numDataTiles; ++t) {
+        if (grid.tileAllocated(t)) {
+            st.tiles[t] = grid.tile(t).snapshot();
+        }
+    }
+    st.rowBuffer = grid.rowBuffer();
+    st.pc = acc.controller().pc();
+    st.halted = acc.controller().halted();
+    return st;
+}
+
+std::string
+diffState(const MachineState &golden, const MachineState &faulted)
+{
+    const std::size_t ntiles =
+        std::max(golden.tiles.size(), faulted.tiles.size());
+    for (std::size_t t = 0; t < ntiles; ++t) {
+        const bool gHas =
+            t < golden.tiles.size() && !golden.tiles[t].empty();
+        const bool fHas =
+            t < faulted.tiles.size() && !faulted.tiles[t].empty();
+        if (gHas != fHas) {
+            // A tile only one run touched: every bit of the other
+            // side is an implicit 0, so compare against zeros.
+            const auto &bits = gHas ? golden.tiles[t]
+                                    : faulted.tiles[t];
+            for (std::size_t i = 0; i < bits.size(); ++i) {
+                if (bits[i] != 0) {
+                    return "tile " + std::to_string(t) +
+                           " touched by only one run differs at "
+                           "bit " +
+                           std::to_string(i);
+                }
+            }
+            continue;
+        }
+        if (!gHas) {
+            continue;
+        }
+        const auto &g = golden.tiles[t];
+        const auto &f = faulted.tiles[t];
+        if (g.size() != f.size()) {
+            return "tile " + std::to_string(t) +
+                   " snapshot size mismatch";
+        }
+        for (std::size_t i = 0; i < g.size(); ++i) {
+            if (g[i] != f[i]) {
+                return "tile " + std::to_string(t) + " bit " +
+                       std::to_string(i) + ": golden " +
+                       std::to_string(static_cast<int>(g[i])) +
+                       ", faulted " +
+                       std::to_string(static_cast<int>(f[i]));
+            }
+        }
+    }
+    if (golden.rowBuffer != faulted.rowBuffer) {
+        std::size_t i = 0;
+        const std::size_t n = std::min(golden.rowBuffer.size(),
+                                       faulted.rowBuffer.size());
+        while (i < n && golden.rowBuffer[i] == faulted.rowBuffer[i]) {
+            ++i;
+        }
+        return "row buffer differs at column " + std::to_string(i);
+    }
+    if (golden.pc != faulted.pc) {
+        return "final PC " + std::to_string(faulted.pc) +
+               " != golden " + std::to_string(golden.pc);
+    }
+    if (golden.halted != faulted.halted) {
+        return faulted.halted ? "faulted run halted, golden did not"
+                              : "faulted run did not halt";
+    }
+    return "";
+}
+
+} // namespace mouse::inject

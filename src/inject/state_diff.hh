@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Architectural-state capture and differential comparison for the
+ * fault-injection engine.
+ *
+ * A MachineState is everything an inference's correctness can depend
+ * on after the run ends: the MTJ contents of every touched data tile,
+ * the (non-volatile) row buffer, and the controller's PC/halt state.
+ * Campaigns capture it once from a golden continuous-power run and
+ * diff every faulted run against it; the first difference is rendered
+ * as a human-readable note for the failure report.
+ */
+
+#ifndef MOUSE_INJECT_STATE_DIFF_HH
+#define MOUSE_INJECT_STATE_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace mouse::inject
+{
+
+/** Every architectural bit a run's outcome can depend on. */
+struct MachineState
+{
+    /** Per-tile MTJ snapshot, indexed by tile address; an empty
+     *  vector marks a tile the run never touched. */
+    std::vector<std::vector<Bit>> tiles;
+    /** The non-volatile 128 B row buffer. */
+    std::vector<Bit> rowBuffer;
+    /** Valid-copy PC at capture time. */
+    std::size_t pc = 0;
+    /** Controller halt latch. */
+    bool halted = false;
+};
+
+/** Snapshot the accelerator's post-run architectural state. */
+MachineState captureState(const Accelerator &acc);
+
+/**
+ * Compare @p faulted against @p golden.  Returns the empty string
+ * when they are identical, otherwise a one-line description of the
+ * first difference (tile/row/column of the first diverging MTJ, row
+ * buffer position, or PC).
+ */
+std::string diffState(const MachineState &golden,
+                      const MachineState &faulted);
+
+} // namespace mouse::inject
+
+#endif // MOUSE_INJECT_STATE_DIFF_HH

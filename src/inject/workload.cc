@@ -1,0 +1,161 @@
+#include "workload.hh"
+
+#include "common/rng.hh"
+#include "compile/builder.hh"
+#include "ml/mapping.hh"
+
+namespace mouse::inject
+{
+
+namespace
+{
+
+/**
+ * "gates": a dozen-instruction program that still crosses every
+ * protocol surface an outage can land on — column activation (clear
+ * and re-activate, so the ACT journal is exercised), presets, gate
+ * pulses, a full adder, and a row-buffer read/write pair.  Small
+ * enough that an exhaustive campaign (every attempt x micro-step x
+ * fraction) is unit-test and TSan-job cheap.
+ */
+CampaignWorkload
+gatesWorkload()
+{
+    CampaignWorkload w;
+    w.name = "gates";
+    w.description = "tiny gate/adder/row-buffer kernel (exhaustive "
+                    "campaigns in seconds)";
+    w.config.tech = TechConfig::ProjectedStt;
+    w.config.array.tileRows = 128;
+    w.config.array.tileCols = 4;
+    w.config.array.numDataTiles = 1;
+    w.config.array.numInstructionTiles = 128;
+
+    const GateLibrary lib(makeDeviceConfig(w.config.tech),
+                          w.config.gateMargin);
+    KernelBuilder kb(lib, w.config.array, 0, 16);
+    kb.activate(0, 3);
+    const Val a = kb.pinned(0);
+    const Val b = kb.pinned(2);
+    const Val c = kb.pinned(4);
+    const Val x = kb.xorSame(a, b);
+    Val sum{};
+    Val carry{};
+    kb.fullAdder(x, c, kb.constant(0), sum, carry);
+    kb.readRow(0);
+    kb.writeRow(6);
+    // Re-activate a narrower window: the outage points after this
+    // instruction restart from a journal whose clearing entry is not
+    // the program's first activation.
+    kb.activate(0, 1);
+    (void)kb.nand(sum, carry);
+    w.program = kb.finish();
+
+    w.seed = [](TileGrid &grid) {
+        Rng rng(0xC0FFEEu);
+        for (ColAddr col = 0; col < 4; ++col) {
+            for (RowAddr row : {0, 2, 4}) {
+                grid.tile(0).setBit(
+                    row, col,
+                    static_cast<Bit>(rng.below(2)));
+            }
+        }
+    };
+    return w;
+}
+
+/**
+ * "small-svm": the compiled squared-dot SVM kernel of ml/mapping.hh
+ * (one support vector per column), sized down so an exhaustive
+ * campaign over its full run finishes in CI time.  This is the
+ * acceptance workload: a real inference whose final tile state *is*
+ * the inference output.
+ */
+CampaignWorkload
+svmWorkload()
+{
+    constexpr unsigned dim = 3;
+    constexpr unsigned inputBits = 2;
+    constexpr unsigned accBits = 6;
+    constexpr RowAddr svBase = 0;
+    constexpr RowAddr xBase =
+        static_cast<RowAddr>(dim * 2 * inputBits);
+    constexpr unsigned firstFree = 2 * dim * 2 * inputBits + 8;
+
+    CampaignWorkload w;
+    w.name = "small-svm";
+    w.description = "compiled squared-dot SVM inference (4 support "
+                    "vectors, " +
+                    std::to_string(dim) + "-dim, " +
+                    std::to_string(inputBits) + "-bit features)";
+    w.config.tech = TechConfig::ProjectedStt;
+    w.config.array.tileRows = 512;
+    w.config.array.tileCols = 4;
+    w.config.array.numDataTiles = 1;
+    w.config.array.numInstructionTiles = 4096;
+
+    const GateLibrary lib(makeDeviceConfig(w.config.tech),
+                          w.config.gateMargin);
+    KernelBuilder kb(lib, w.config.array, 0, firstFree);
+    kb.activate(0, 3);
+    Word square;
+    buildSmallSvmKernel(kb, svBase, xBase, dim, inputBits, accBits,
+                        square);
+    w.program = kb.finish();
+
+    w.seed = [](TileGrid &grid) {
+        Rng rng(2026);
+        for (ColAddr col = 0; col < 4; ++col) {
+            for (unsigned e = 0; e < dim; ++e) {
+                const auto sv = static_cast<std::uint8_t>(
+                    rng.below(1u << inputBits));
+                const auto x = static_cast<std::uint8_t>(
+                    rng.below(1u << inputBits));
+                for (unsigned bit = 0; bit < inputBits; ++bit) {
+                    grid.tile(0).setBit(
+                        static_cast<RowAddr>(
+                            svBase + e * 2 * inputBits + 2 * bit),
+                        col, (sv >> bit) & 1);
+                    grid.tile(0).setBit(
+                        static_cast<RowAddr>(
+                            xBase + e * 2 * inputBits + 2 * bit),
+                        col, (x >> bit) & 1);
+                }
+            }
+        }
+    };
+    return w;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+campaignWorkloadNames()
+{
+    static const std::vector<std::string> names{"gates",
+                                                "small-svm"};
+    return names;
+}
+
+std::optional<CampaignWorkload>
+makeCampaignWorkload(const std::string &name)
+{
+    if (name == "gates") {
+        return gatesWorkload();
+    }
+    if (name == "small-svm") {
+        return svmWorkload();
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<Accelerator>
+freshRun(const CampaignWorkload &w)
+{
+    auto acc = std::make_unique<Accelerator>(w.config);
+    acc->loadProgram(w.program);
+    w.seed(acc->grid());
+    return acc;
+}
+
+} // namespace mouse::inject

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Named, self-contained workloads for fault-injection campaigns.
+ *
+ * A campaign re-runs its program hundreds of times (golden + one run
+ * per cut point + shrinker reruns), each on a freshly constructed
+ * Accelerator so no state leaks between points.  A CampaignWorkload
+ * therefore bundles everything needed to reconstruct a run from
+ * scratch: the machine configuration, the compiled program, and a
+ * deterministic data-seeding function.
+ *
+ * Workloads are looked up by a stable name — the name is what a
+ * replay artifact stores (see replay.hh), so renaming one breaks old
+ * reproducers.
+ */
+
+#ifndef MOUSE_INJECT_WORKLOAD_HH
+#define MOUSE_INJECT_WORKLOAD_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace mouse::inject
+{
+
+/** Everything needed to reconstruct one campaign run from scratch. */
+struct CampaignWorkload
+{
+    /** Stable lookup key ("gates", "small-svm"); stored verbatim in
+     *  replay artifacts. */
+    std::string name;
+    /** One-line human description for `mouse_cli inject --list`. */
+    std::string description;
+    MouseConfig config;
+    Program program;
+    /** Writes the input data into the fresh grid (deterministic:
+     *  called once per run, before the first instruction). */
+    std::function<void(TileGrid &)> seed;
+};
+
+/** Names of every built-in workload, in listing order. */
+const std::vector<std::string> &campaignWorkloadNames();
+
+/** Build the named workload; nullopt for an unknown name. */
+std::optional<CampaignWorkload>
+makeCampaignWorkload(const std::string &name);
+
+/**
+ * Construct a fresh accelerator for @p w with the program loaded and
+ * the data seeded — the reset starting point of every golden,
+ * faulted, shrinker, and replay run.
+ */
+std::unique_ptr<Accelerator> freshRun(const CampaignWorkload &w);
+
+} // namespace mouse::inject
+
+#endif // MOUSE_INJECT_WORKLOAD_HH

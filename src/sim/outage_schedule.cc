@@ -1,0 +1,337 @@
+#include "outage_schedule.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mouse
+{
+
+const char *
+microStepName(MicroStep step)
+{
+    switch (step) {
+      case MicroStep::kFetch:
+        return "fetch";
+      case MicroStep::kExecute:
+        return "execute";
+      case MicroStep::kWritePc:
+        return "write-pc";
+      case MicroStep::kCommit:
+        return "commit";
+    }
+    return "?";
+}
+
+std::optional<MicroStep>
+parseMicroStep(const std::string &name)
+{
+    if (name == "fetch") {
+        return MicroStep::kFetch;
+    }
+    if (name == "execute") {
+        return MicroStep::kExecute;
+    }
+    if (name == "write-pc") {
+        return MicroStep::kWritePc;
+    }
+    if (name == "commit") {
+        return MicroStep::kCommit;
+    }
+    return std::nullopt;
+}
+
+void
+OutageSchedule::normalize()
+{
+    std::sort(points.begin(), points.end(),
+              [](const OutagePoint &a, const OutagePoint &b) {
+                  if (a.attempt != b.attempt) {
+                      return a.attempt < b.attempt;
+                  }
+                  if (a.step != b.step) {
+                      return a.step < b.step;
+                  }
+                  return a.fraction < b.fraction;
+              });
+    points.erase(std::unique(points.begin(), points.end()),
+                 points.end());
+    std::sort(checkpoints.begin(), checkpoints.end());
+    checkpoints.erase(
+        std::unique(checkpoints.begin(), checkpoints.end()),
+        checkpoints.end());
+}
+
+std::string
+OutageSchedule::toJson() const
+{
+    std::string j = "{\"checkpoint_period\":" +
+                    std::to_string(checkpointPeriod);
+    j += ",\"restore_journal\":";
+    j += restoreJournal ? "true" : "false";
+    if (!checkpoints.empty()) {
+        j += ",\"checkpoints\":[";
+        for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+            if (i > 0) {
+                j += ",";
+            }
+            j += std::to_string(checkpoints[i]);
+        }
+        j += "]";
+    }
+    j += ",\"outages\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0) {
+            j += ",";
+        }
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"attempt\":%llu,\"step\":\"%s\","
+                      "\"fraction\":%.17g}",
+                      static_cast<unsigned long long>(
+                          points[i].attempt),
+                      microStepName(points[i].step),
+                      points[i].fraction);
+        j += buf;
+    }
+    j += "]}";
+    return j;
+}
+
+namespace
+{
+
+/**
+ * Minimal scanner for the schedule's own JSON dialect: flat keys,
+ * numbers, booleans, one array of flat objects.  Not a general JSON
+ * parser — it only needs to read back what toJson() writes (plus
+ * whitespace and unknown scalar keys).
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text)
+        : text_(text), pos_(0)
+    {
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        if (!consume('"')) {
+            return false;
+        }
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+                ++pos_;
+            }
+            out += text_[pos_++];
+        }
+        return consume('"');
+    }
+
+    bool
+    readNumber(double &out)
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start) {
+            return false;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    readBool(bool &out)
+    {
+        skipWs();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out = false;
+            pos_ += 5;
+            return true;
+        }
+        return false;
+    }
+
+    /** Skip one scalar value (string, number, or boolean). */
+    bool
+    skipScalar()
+    {
+        skipWs();
+        std::string s;
+        double d;
+        bool b;
+        if (peek('"')) {
+            return readString(s);
+        }
+        if (readBool(b)) {
+            return true;
+        }
+        return readNumber(d);
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_;
+};
+
+bool
+parseOutage(JsonScanner &sc, OutagePoint &p)
+{
+    if (!sc.consume('{')) {
+        return false;
+    }
+    bool first = true;
+    while (!sc.peek('}')) {
+        if (!first && !sc.consume(',')) {
+            return false;
+        }
+        first = false;
+        std::string key;
+        if (!sc.readString(key) || !sc.consume(':')) {
+            return false;
+        }
+        if (key == "attempt") {
+            double v;
+            if (!sc.readNumber(v) || v < 0.0) {
+                return false;
+            }
+            p.attempt = static_cast<std::uint64_t>(v);
+        } else if (key == "step") {
+            std::string name;
+            if (!sc.readString(name)) {
+                return false;
+            }
+            const auto step = parseMicroStep(name);
+            if (!step) {
+                return false;
+            }
+            p.step = *step;
+        } else if (key == "fraction") {
+            double v;
+            if (!sc.readNumber(v) || v < 0.0 || v > 1.0) {
+                return false;
+            }
+            p.fraction = v;
+        } else if (!sc.skipScalar()) {
+            return false;
+        }
+    }
+    return sc.consume('}');
+}
+
+} // namespace
+
+std::optional<OutageSchedule>
+OutageSchedule::fromJson(const std::string &text)
+{
+    JsonScanner sc(text);
+    OutageSchedule sched;
+    if (!sc.consume('{')) {
+        return std::nullopt;
+    }
+    bool first = true;
+    while (!sc.peek('}')) {
+        if (!first && !sc.consume(',')) {
+            return std::nullopt;
+        }
+        first = false;
+        std::string key;
+        if (!sc.readString(key) || !sc.consume(':')) {
+            return std::nullopt;
+        }
+        if (key == "checkpoint_period") {
+            double v;
+            if (!sc.readNumber(v) || v < 1.0) {
+                return std::nullopt;
+            }
+            sched.checkpointPeriod = static_cast<unsigned>(v);
+        } else if (key == "restore_journal") {
+            if (!sc.readBool(sched.restoreJournal)) {
+                return std::nullopt;
+            }
+        } else if (key == "checkpoints") {
+            if (!sc.consume('[')) {
+                return std::nullopt;
+            }
+            while (!sc.peek(']')) {
+                if (!sched.checkpoints.empty() &&
+                    !sc.consume(',')) {
+                    return std::nullopt;
+                }
+                double v;
+                if (!sc.readNumber(v) || v < 0.0) {
+                    return std::nullopt;
+                }
+                sched.checkpoints.push_back(
+                    static_cast<std::uint32_t>(v));
+            }
+            if (!sc.consume(']')) {
+                return std::nullopt;
+            }
+        } else if (key == "outages") {
+            if (!sc.consume('[')) {
+                return std::nullopt;
+            }
+            while (!sc.peek(']')) {
+                if (!sched.points.empty() && !sc.consume(',')) {
+                    return std::nullopt;
+                }
+                OutagePoint p;
+                if (!parseOutage(sc, p)) {
+                    return std::nullopt;
+                }
+                sched.points.push_back(p);
+            }
+            if (!sc.consume(']')) {
+                return std::nullopt;
+            }
+        } else if (!sc.skipScalar()) {
+            return std::nullopt;
+        }
+    }
+    if (!sc.consume('}')) {
+        return std::nullopt;
+    }
+    sched.normalize();
+    return sched;
+}
+
+} // namespace mouse

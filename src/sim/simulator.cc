@@ -647,6 +647,103 @@ microStepFor(double fraction, Rng &rng)
 } // namespace
 
 RunStats
+runScheduledFunctional(Controller &ctrl,
+                       const OutageSchedule &schedule,
+                       std::uint64_t maxAttempts,
+                       obs::Telemetry *telem)
+{
+    RunStats stats;
+    SimProbe probe(telem);
+    const EnergyModel &energy = ctrl.energyModel();
+    const Seconds cycle = energy.cycleTime();
+    const unsigned period = std::max(1u, schedule.checkpointPeriod);
+
+    std::size_t next = 0;
+    std::uint64_t attempt = 0;
+    // Window-checkpoint emulation: the PC a SONIC-style restart
+    // rolls back to, advanced every `period` committed instructions.
+    std::size_t windowStart = ctrl.pc();
+    std::uint64_t sinceCheckpoint = 0;
+    Seconds now = 0.0;
+
+    while (!ctrl.halted()) {
+        if (maxAttempts > 0 && attempt >= maxAttempts) {
+            // Non-terminating under this schedule; the caller sees
+            // halted() == false.
+            break;
+        }
+        if (next < schedule.points.size() &&
+            attempt >= schedule.points[next].attempt) {
+            const OutagePoint &p = schedule.points[next++];
+            const double f = std::clamp(p.fraction, 0.0, 1.0);
+            const Joules wasted = ctrl.stepInterrupted(p.step, f);
+            ++attempt;
+            stats.deadEnergy += wasted;
+            stats.deadTime += cycle * f;
+            ++stats.instructionsDead;
+            ++stats.outages;
+            MOUSE_OBS_HOOK(telem, {
+                probe.outageBegin(now, cycle * f, wasted);
+                // The schedule abstracts the environment away: power
+                // is back as soon as the restart protocol can run.
+                probe.rechargeDone(now + cycle * f);
+            });
+            now += cycle * f;
+            ctrl.powerLoss();
+            if (schedule.restoreJournal) {
+                const RestartResult rr = ctrl.restart();
+                const Seconds dt =
+                    cycle * static_cast<double>(rr.restoreCycles);
+                stats.restoreEnergy += rr.restoreEnergy;
+                stats.restoreTime += dt;
+                MOUSE_OBS_HOOK(telem,
+                               probe.restore(now, dt,
+                                             rr.restoreEnergy));
+                now += dt;
+            }
+            if (period > 1) {
+                if (!schedule.checkpoints.empty()) {
+                    // Roll back to the last checkpoint the run
+                    // crossed (largest checkpoint PC <= current PC).
+                    const auto it = std::upper_bound(
+                        schedule.checkpoints.begin(),
+                        schedule.checkpoints.end(),
+                        static_cast<std::uint32_t>(ctrl.pc()));
+                    if (it != schedule.checkpoints.begin()) {
+                        ctrl.rollbackPc(*(it - 1));
+                    }
+                } else {
+                    ctrl.rollbackPc(windowStart);
+                }
+                sinceCheckpoint = 0;
+            }
+            continue;
+        }
+        const std::size_t pc = ctrl.pc();
+        const StepResult r = ctrl.step();
+        ++attempt;
+        stats.computeEnergy += r.energy - r.backupEnergy;
+        stats.backupEnergy += r.backupEnergy;
+        stats.activeTime += cycle;
+        if (!r.halted) {
+            ++stats.instructionsCommitted;
+            MOUSE_OBS_HOOK(telem,
+                           probe.commitInstr(
+                               now, cycle, pc,
+                               static_cast<int>(r.inst.op)));
+            if (period > 1 && ++sinceCheckpoint >= period) {
+                windowStart = ctrl.pc();
+                sinceCheckpoint = 0;
+            }
+        }
+        now += cycle;
+    }
+    stats.idleEnergy += energy.idlePower() * stats.activeTime;
+    MOUSE_OBS_HOOK(telem, probe.finalize(stats));
+    return stats;
+}
+
+RunStats
 runHarvestedFunctional(Controller &ctrl, const HarvestConfig &harvest,
                        obs::Telemetry *telem)
 {

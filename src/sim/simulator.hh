@@ -32,6 +32,7 @@
 #include "harvest/converter.hh"
 #include "harvest/power_source.hh"
 #include "obs/telemetry.hh"
+#include "sim/outage_schedule.hh"
 #include "sim/stats.hh"
 
 namespace mouse
@@ -112,6 +113,29 @@ RunStats runHarvestedTrace(const Trace &trace,
                            const EnergyModel &energy,
                            const HarvestConfig &harvest,
                            obs::Telemetry *telem = nullptr);
+
+/**
+ * Scripted-outage functional run: executes the loaded program on the
+ * bit-exact machine, cutting power exactly where @p schedule says —
+ * attempt index, micro-step, intra-phase fraction — instead of where
+ * a capacitor model happens to run dry.  Charging time is not
+ * modelled (the schedule abstracts the environment away); energy and
+ * work accounting follow the harvested runner's taxonomy.
+ *
+ * With schedule.checkpointPeriod > 1 the restart path additionally
+ * rolls the PC back to the last window boundary (SONIC-style
+ * checkpointing); with schedule.restoreJournal == false the Activate
+ * Columns journal replay is skipped (a deliberately broken restart
+ * for checker validation).
+ *
+ * @param maxAttempts Abort guard: the run is declared non-terminating
+ *        after this many attempts (0 = no limit) and `halted()` stays
+ *        false.  Fault campaigns size it from the golden run.
+ */
+RunStats runScheduledFunctional(Controller &ctrl,
+                                const OutageSchedule &schedule,
+                                std::uint64_t maxAttempts = 0,
+                                obs::Telemetry *telem = nullptr);
 
 } // namespace mouse
 

@@ -125,7 +125,7 @@ TEST_F(BnnOnArray, MatchesSoftwareContinuous)
         const Program prog = buildProgram(acc);
         acc.loadProgram(prog);
         seed(acc, rng);
-        acc.runContinuous();
+        acc.execute(RunRequest{});
         check(acc);
     }
 }
@@ -137,10 +137,11 @@ TEST_F(BnnOnArray, MatchesSoftwareUnderHarvesting)
     const Program prog = buildProgram(acc);
     acc.loadProgram(prog);
     seed(acc, rng);
-    HarvestConfig harvest;
-    harvest.sourcePower = 1e-6;
-    harvest.capacitanceOverride = 1e-9;  // force outages
-    const RunStats stats = acc.runHarvested(harvest);
+    RunRequest req;
+    req.power = PowerMode::Harvested;
+    req.harvest.sourcePower = 1e-6;
+    req.harvest.capacitanceOverride = 1e-9;  // force outages
+    const RunStats stats = acc.execute(req).stats;
     EXPECT_GT(stats.outages, 0u);
     check(acc);
 }
@@ -161,7 +162,7 @@ TEST_F(BnnOnArray, ThresholdEdgeCases)
             static_cast<RowAddr>(kThreshBase + 2 * b), 1,
             static_cast<Bit>(((kInputs + 1) >> b) & 1));
     }
-    acc.runContinuous();
+    acc.execute(RunRequest{});
     EXPECT_EQ(acc.grid().tile(0).bit(fires_.row, 0), 1);
     EXPECT_EQ(acc.grid().tile(0).bit(fires_.row, 1), 0);
 }

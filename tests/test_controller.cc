@@ -271,6 +271,125 @@ TEST_F(ControllerTest, CommitBeforePcKeepsActJournalConsistent)
     checkOutputs(grid);
 }
 
+TEST_F(ControllerTest, InterruptAtBoundaryFractionsStillCorrect)
+{
+    // The fault-injection engine (src/inject) enumerates the exact
+    // phase boundaries 0.0 and 1.0, not just interior fractions:
+    // 0.0 cuts before the phase does any work, 1.0 after all of it
+    // but before the next phase.  Neither may ever commit the PC —
+    // the parity flip is the single commit point — so after restart
+    // the PC must still address the cut instruction, and the rerun
+    // must converge to the uninterrupted result.
+    for (int cut_instr = 0; cut_instr < 7; ++cut_instr) {
+        for (MicroStep at :
+             {MicroStep::kFetch, MicroStep::kExecute,
+              MicroStep::kWritePc, MicroStep::kCommit}) {
+            for (double fraction : {0.0, 1.0}) {
+                TileGrid grid(cfg_, lib_);
+                InstructionMemory imem(cfg_);
+                imem.load(simpleProgram());
+                seedInputs(grid);
+                Controller ctrl(grid, imem, energy_);
+
+                for (int i = 0; i < cut_instr; ++i) {
+                    ctrl.step();
+                }
+                ctrl.stepInterrupted(at, fraction);
+                ctrl.powerLoss();
+                ctrl.restart();
+                EXPECT_EQ(ctrl.pc(),
+                          static_cast<std::size_t>(cut_instr))
+                    << "cut at instr " << cut_instr << " step "
+                    << static_cast<int>(at) << " fraction "
+                    << fraction;
+                while (!ctrl.halted()) {
+                    ctrl.step();
+                }
+                checkOutputs(grid);
+            }
+        }
+    }
+}
+
+TEST_F(ControllerTest, ActJournalDepthBoundedUnderRepeatedCommitCuts)
+{
+    // Cut at kCommit on an *additive* ACT instruction, over and over:
+    // each cut commits the ACT register (journal appended) but not
+    // the PC, so the same instruction re-executes after restart.
+    // Without dedup the journal would overflow its depth-4 register
+    // after a few outages even though only four distinct activation
+    // instructions ever ran.
+    std::vector<Instruction> prog = {
+        Instruction::activateRange(0, 1, true),
+        Instruction::activateRange(4, 5, false),
+        Instruction::activateList({9, 0, 0, 0, 0}, 1, false),
+        Instruction::activateList({11, 0, 0, 0, 0}, 1, false),
+        Instruction::halt(),
+    };
+    std::vector<std::uint64_t> words;
+    for (const auto &inst : prog) {
+        words.push_back(inst.encode());
+    }
+    TileGrid grid(cfg_, lib_);
+    InstructionMemory imem(cfg_);
+    imem.load(words);
+    Controller ctrl(grid, imem, energy_);
+
+    ctrl.step();  // clear ACT 0..1
+    ctrl.step();  // +ACT 4..5
+    ctrl.step();  // +ACT 9
+
+    for (int outage = 0; outage < 10; ++outage) {
+        ctrl.stepInterrupted(MicroStep::kCommit, 1.0);  // +ACT 11
+        ctrl.powerLoss();
+        const RestartResult r = ctrl.restart();
+        EXPECT_LE(r.restoreCycles, ActJournal::kDepth);
+        EXPECT_EQ(ctrl.pc(), 3u);  // PC never committed
+    }
+
+    while (!ctrl.halted()) {
+        ctrl.step();
+    }
+    EXPECT_EQ(grid.activeColumns().count(), 6u);
+    for (std::size_t col : {0u, 1u, 4u, 5u, 9u, 11u}) {
+        EXPECT_TRUE(grid.activeColumns().test(col)) << col;
+    }
+    // The committed journal replays in bounded depth too.
+    ctrl.powerLoss();
+    const RestartResult r = ctrl.restart();
+    EXPECT_LE(r.restoreCycles, ActJournal::kDepth);
+    EXPECT_EQ(grid.activeColumns().count(), 6u);
+}
+
+TEST_F(ControllerTest, RollbackPcReexecutesWindowAndConverges)
+{
+    // rollbackPc models a SONIC-style window checkpoint: force the NV
+    // PC back to a window boundary and re-execute the suffix.  The
+    // window [1, 4) of simpleProgram() is hazard-free (each preset
+    // writes a row only later instructions read), so ordered replay
+    // must converge to the uninterrupted result with extra commits.
+    TileGrid grid(cfg_, lib_);
+    InstructionMemory imem(cfg_);
+    imem.load(simpleProgram());
+    seedInputs(grid);
+    Controller ctrl(grid, imem, energy_);
+
+    for (int i = 0; i < 4; ++i) {
+        ctrl.step();
+    }
+    ctrl.rollbackPc(1);
+    EXPECT_EQ(ctrl.pc(), 1u);
+    EXPECT_FALSE(ctrl.halted());
+
+    int steps = 0;
+    while (!ctrl.halted()) {
+        ctrl.step();
+        ASSERT_LT(++steps, 100);
+    }
+    EXPECT_EQ(steps, 7);  // instructions 1..6 again, plus HALT
+    checkOutputs(grid);
+}
+
 TEST_F(ControllerTest, EnergyIncludesFetchAndBackup)
 {
     TileGrid grid(cfg_, lib_);

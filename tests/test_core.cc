@@ -72,7 +72,7 @@ TEST(Accelerator, RunContinuousEndToEnd)
     const Program prog = adderProgram(acc, sum);
     acc.loadProgram(prog);
     seedAdder(acc);
-    const RunStats stats = acc.runContinuous();
+    const RunStats stats = acc.execute(RunRequest{}).stats;
     for (ColAddr c = 0; c < 4; ++c) {
         EXPECT_EQ(readSum(acc, sum, c), (c + 3u) + (2u * c + 1u));
     }
@@ -87,14 +87,15 @@ TEST(Accelerator, RunHarvestedMatchesContinuous)
     const Program prog = adderProgram(cont, sum);
     cont.loadProgram(prog);
     seedAdder(cont);
-    cont.runContinuous();
+    cont.execute(RunRequest{});
 
     Accelerator harv(smallConfig());
     harv.loadProgram(prog);
     seedAdder(harv);
-    HarvestConfig harvest;
-    harvest.sourcePower = 2e-6;
-    const RunStats stats = harv.runHarvested(harvest);
+    RunRequest req;
+    req.power = PowerMode::Harvested;
+    req.harvest.sourcePower = 2e-6;
+    const RunStats stats = harv.execute(req).stats;
 
     for (ColAddr c = 0; c < 4; ++c) {
         EXPECT_EQ(readSum(harv, sum, c), readSum(cont, sum, c));
@@ -109,10 +110,16 @@ TEST(Accelerator, TraceModesAgreeOnCycles)
     const Program prog = adderProgram(acc, sum);
     const Trace trace = Trace::fromProgram(prog, acc.config().array);
 
-    const RunStats cont = acc.simulateContinuous(trace);
-    HarvestConfig harvest;
-    harvest.sourcePower = 1e-3;
-    const RunStats harv = acc.simulateHarvested(trace, harvest);
+    RunRequest contReq;
+    contReq.fidelity = Fidelity::Trace;
+    contReq.trace = &trace;
+    const RunStats cont = acc.execute(contReq).stats;
+    RunRequest harvReq;
+    harvReq.fidelity = Fidelity::Trace;
+    harvReq.trace = &trace;
+    harvReq.power = PowerMode::Harvested;
+    harvReq.harvest.sourcePower = 1e-3;
+    const RunStats harv = acc.execute(harvReq).stats;
     EXPECT_EQ(cont.instructionsCommitted, harv.instructionsCommitted);
     // At 1 mW the whole program fits in one burst after the initial
     // charge, so active time matches continuous exactly.
@@ -126,12 +133,12 @@ TEST(Accelerator, ReloadingProgramResetsController)
     const Program prog = adderProgram(acc, sum);
     acc.loadProgram(prog);
     seedAdder(acc);
-    acc.runContinuous();
+    acc.execute(RunRequest{});
     EXPECT_TRUE(acc.controller().halted());
     acc.loadProgram(prog);
     EXPECT_FALSE(acc.controller().halted());
     EXPECT_EQ(acc.controller().pc(), 0u);
-    const RunStats again = acc.runContinuous();
+    const RunStats again = acc.execute(RunRequest{}).stats;
     EXPECT_EQ(again.instructionsCommitted, prog.size() - 1);
 }
 

@@ -86,7 +86,7 @@ TEST_F(CrossColumn, TreeSumAcrossColumns)
                                       (v >> i) & 1);
         }
     }
-    acc.runContinuous();
+    acc.execute(RunRequest{});
 
     std::uint64_t got = 0;
     for (std::size_t i = 0; i < total.size(); ++i) {
@@ -117,7 +117,7 @@ TEST_F(CrossColumn, SignedTreeSum)
                 (static_cast<std::uint64_t>(vals[c]) >> i) & 1);
         }
     }
-    acc.runContinuous();
+    acc.execute(RunRequest{});
 
     std::int64_t got = 0;
     for (std::size_t i = 0; i < total.size(); ++i) {
@@ -192,7 +192,7 @@ TEST_F(CrossColumn, FullBinarySvmDecisionOnArray)
         expect += static_cast<__int128>(alphas[c]) * d * d;
     }
 
-    const RunStats stats = acc.runContinuous();
+    const RunStats stats = acc.execute(RunRequest{}).stats;
     EXPECT_GT(stats.instructionsCommitted, 1000u);
 
     std::int64_t got = 0;

@@ -149,7 +149,7 @@ TEST(Fuzz, HarvestedEqualsContinuousOverRandomPrograms)
         Rng data_rng(500 + trial);
         cont.loadProgram(prog);
         randomizeTiles(cont, data_rng);
-        cont.runContinuous();
+        cont.execute(RunRequest{});
 
         Accelerator harv(cfg);
         Rng data_rng2(500 + trial);
@@ -159,7 +159,10 @@ TEST(Fuzz, HarvestedEqualsContinuousOverRandomPrograms)
         harvest.sourcePower = 10e-6;
         harvest.capacitanceOverride = 2e-9;  // frequent outages
         harvest.seed = 777 + trial;
-        const RunStats stats = harv.runHarvested(harvest);
+        RunRequest req;
+        req.power = PowerMode::Harvested;
+        req.harvest = harvest;
+        const RunStats stats = harv.execute(req).stats;
 
         ASSERT_EQ(cont.grid().tile(0).snapshot(),
                   harv.grid().tile(0).snapshot())
@@ -187,7 +190,7 @@ TEST(Fuzz, ReplayingAnyPrefixTwiceIsIdempotent)
         Rng data_rng(100 + trial);
         straight.loadProgram(prog);
         randomizeTiles(straight, data_rng);
-        straight.runContinuous();
+        straight.execute(RunRequest{});
 
         Accelerator replayed(cfg);
         Rng data_rng2(100 + trial);

@@ -10,6 +10,12 @@
 
 #include "core/accelerator.hh"
 
+// This file deliberately calls the deprecated shims: the equivalence
+// tests below are what keeps them honest until their removal
+// (docs/EXPERIMENTS_API.md, "Legacy entry points").
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace mouse
 {
 namespace
@@ -163,3 +169,5 @@ TEST(RunApi, TraceFidelityWithoutTraceDies)
 
 } // namespace
 } // namespace mouse
+
+#pragma GCC diagnostic pop

@@ -11,10 +11,22 @@
  *                                       the parallel experiment runner
  *   analyze NAME [--tech T]             static forward-progress report
  *   area    MB   [--tech T]             Table-III area query
- *   list                                benchmark and tech names
+ *   inject  [--workload W] [...]        fault-injection campaign
+ *                                       (docs/FAULT_INJECTION.md);
+ *                                       --replay PATH re-runs a saved
+ *                                       reproducer
+ *   list                                benchmark, tech, and injection
+ *                                       workload names
  *
  * Tech names: modern-stt (default), projected-stt, she.
  * Benchmark names: mnist, mnist-bin, har, adult, finn, fpbnn.
+ *
+ * Every command validates its flags strictly: a flag no command knows
+ * and a flag that belongs to a different command both exit 2 with a
+ * usage hint, so typos never silently run a default configuration.
+ * Exit codes: 0 success (inject: campaign clean / replay did not
+ * reproduce a failure), 1 inject found or reproduced mismatches,
+ * 2 usage or I/O error.
  *
  * --json prints machine-readable RunResult/SweepResult serializations
  * so benches and CI can diff results without scraping tables.  Sweep
@@ -47,6 +59,8 @@
 #include "energy/area_model.hh"
 #include "exp/names.hh"
 #include "exp/runner.hh"
+#include "inject/campaign.hh"
+#include "inject/replay.hh"
 #include "sim/termination.hh"
 
 using namespace mouse;
@@ -66,6 +80,10 @@ usage()
         "  sweep   NAME [--tech T] [--threads N] [--json]\n"
         "  analyze NAME [--tech T]\n"
         "  area    MB [--tech T]\n"
+        "  inject  [--workload W] [--sonic-window N] [--no-journal]\n"
+        "          [--random N] [--max-outages N] [--seed S]\n"
+        "          [--threads N] [--report PATH] [--json]\n"
+        "  inject  --replay PATH [--json]\n"
         "  list\n"
         "bench/sweep outputs:\n"
         "  --stats-out PATH     stat registry (JSON, or CSV if PATH "
@@ -77,7 +95,8 @@ usage()
         "  --json-out PATH      --json document written to PATH\n"
         "  --progress           force the stderr progress/ETA line\n"
         "tech: modern-stt | projected-stt | she\n"
-        "benchmarks: mnist mnist-bin har adult finn fpbnn\n");
+        "benchmarks: mnist mnist-bin har adult finn fpbnn\n"
+        "inject workloads: see `mouse_cli list`\n");
     return 2;
 }
 
@@ -97,6 +116,25 @@ struct Options
     std::string jsonOut;
     /** Show the stderr progress line even when not a terminal. */
     bool progress = false;
+    /** inject: campaign workload name (inject/workload.hh). */
+    std::string workload = "small-svm";
+    /** inject: checkpoint window; 1 = MOUSE's per-cycle protocol,
+     *  N > 1 = SONIC-style window of N instructions. */
+    unsigned sonicWindow = 1;
+    /** inject: model a broken restart path (skip journal replay). */
+    bool noJournal = false;
+    /** inject: randomized multi-outage schedules appended after the
+     *  exhaustive single-cut enumeration. */
+    std::size_t randomSchedules = 0;
+    /** inject: outages per random schedule (2..N). */
+    std::size_t maxOutages = 3;
+    /** inject: root seed of the random-schedule derivation. */
+    std::uint64_t rootSeed = 1;
+    /** inject: campaign report JSON written here when non-empty. */
+    std::string reportOut;
+    /** inject: replay the artifact/report at this path instead of
+     *  running a campaign. */
+    std::string replayPath;
 };
 
 /**
@@ -261,56 +299,176 @@ progressWanted(const Options &opts)
     return opts.progress;
 }
 
+/** Every flag any command understands.  Membership here decides
+ *  whether a rejected flag reads "unknown" or "does not apply". */
+constexpr const char *kAllFlags[] = {
+    "--tech",         "--power",      "--continuous",
+    "--json",         "--threads",    "--stats-out",
+    "--trace-out",    "--waveform-out", "--json-out",
+    "--progress",     "--workload",   "--sonic-window",
+    "--no-journal",   "--random",     "--max-outages",
+    "--seed",         "--report",     "--replay",
+};
+
+/** Flags that are pure switches; every other flag consumes a value. */
+constexpr const char *kSwitchFlags[] = {
+    "--continuous",
+    "--json",
+    "--progress",
+    "--no-journal",
+};
+
 bool
-parseFlags(int argc, char **argv, int start, Options &opts)
+inList(const char *flag, const char *const *list, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::strcmp(flag, list[i])) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+flagAllowed(const char *flag,
+            std::initializer_list<const char *> allowed)
+{
+    for (const char *a : allowed) {
+        if (!std::strcmp(flag, a)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Strict non-negative integer parse ("--threads needs ..."). */
+bool
+parseCount(const char *flag, const char *val, std::uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(val, &end, 10);
+    if (val[0] == '-' || end == val || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "%s needs a non-negative integer, got '%s'\n",
+                     flag, val);
+        return false;
+    }
+    out = n;
+    return true;
+}
+
+/**
+ * Parse one command's flags.  Only flags in @p allowed are accepted:
+ * a flag no command knows is rejected as unknown, one that belongs to
+ * a different command as not applicable — both exit 2 through
+ * usage(), so a typo never silently runs a default configuration.
+ */
+bool
+parseFlags(int argc, char **argv, int start, const char *cmd,
+           std::initializer_list<const char *> allowed, Options &opts)
 {
     for (int i = start; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--tech") && i + 1 < argc) {
-            const auto tech = names::parseTech(argv[++i]);
+        const char *flag = argv[i];
+        if (!inList(flag, kAllFlags, std::size(kAllFlags))) {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag);
+            return false;
+        }
+        if (!flagAllowed(flag, allowed)) {
+            std::fprintf(stderr,
+                         "flag '%s' does not apply to '%s'\n", flag,
+                         cmd);
+            return false;
+        }
+        const char *val = nullptr;
+        if (!inList(flag, kSwitchFlags, std::size(kSwitchFlags))) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "flag '%s' needs a value\n",
+                             flag);
+                return false;
+            }
+            val = argv[++i];
+        }
+        std::uint64_t n = 0;
+        if (!std::strcmp(flag, "--tech")) {
+            const auto tech = names::parseTech(val);
             if (!tech) {
-                std::fprintf(stderr, "unknown tech '%s'\n", argv[i]);
+                std::fprintf(stderr, "unknown tech '%s'\n", val);
                 return false;
             }
             opts.tech = *tech;
-        } else if (!std::strcmp(argv[i], "--power") && i + 1 < argc) {
+        } else if (!std::strcmp(flag, "--power")) {
             char *end = nullptr;
-            opts.power = std::strtod(argv[++i], &end);
-            if (end == argv[i] || *end != '\0' || opts.power <= 0.0) {
-                std::fprintf(stderr, "--power needs a positive number, got '%s'\n",
-                             argv[i]);
+            opts.power = std::strtod(val, &end);
+            if (end == val || *end != '\0' || opts.power <= 0.0) {
+                std::fprintf(
+                    stderr,
+                    "--power needs a positive number, got '%s'\n",
+                    val);
                 return false;
             }
-        } else if (!std::strcmp(argv[i], "--threads") &&
-                   i + 1 < argc) {
-            char *end = nullptr;
-            const long n = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || n < 0) {
-                std::fprintf(stderr, "--threads needs a count >= 0, got '%s'\n",
-                             argv[i]);
+        } else if (!std::strcmp(flag, "--threads")) {
+            if (!parseCount(flag, val, n)) {
                 return false;
             }
             opts.threads = static_cast<unsigned>(n);
-        } else if (!std::strcmp(argv[i], "--continuous")) {
+        } else if (!std::strcmp(flag, "--continuous")) {
             opts.continuous = true;
-        } else if (!std::strcmp(argv[i], "--json")) {
+        } else if (!std::strcmp(flag, "--json")) {
             opts.json = true;
-        } else if (!std::strcmp(argv[i], "--stats-out") &&
-                   i + 1 < argc) {
-            opts.statsOut = argv[++i];
-        } else if (!std::strcmp(argv[i], "--trace-out") &&
-                   i + 1 < argc) {
-            opts.traceOut = argv[++i];
-        } else if (!std::strcmp(argv[i], "--waveform-out") &&
-                   i + 1 < argc) {
-            opts.waveformOut = argv[++i];
-        } else if (!std::strcmp(argv[i], "--json-out") &&
-                   i + 1 < argc) {
-            opts.jsonOut = argv[++i];
-        } else if (!std::strcmp(argv[i], "--progress")) {
+        } else if (!std::strcmp(flag, "--stats-out")) {
+            opts.statsOut = val;
+        } else if (!std::strcmp(flag, "--trace-out")) {
+            opts.traceOut = val;
+        } else if (!std::strcmp(flag, "--waveform-out")) {
+            opts.waveformOut = val;
+        } else if (!std::strcmp(flag, "--json-out")) {
+            opts.jsonOut = val;
+        } else if (!std::strcmp(flag, "--progress")) {
             opts.progress = true;
-        } else {
-            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
-            return false;
+        } else if (!std::strcmp(flag, "--workload")) {
+            opts.workload = val;
+        } else if (!std::strcmp(flag, "--sonic-window")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--sonic-window needs a window >= 1, "
+                             "got '%s'\n",
+                             val);
+                return false;
+            }
+            opts.sonicWindow = static_cast<unsigned>(n);
+        } else if (!std::strcmp(flag, "--no-journal")) {
+            opts.noJournal = true;
+        } else if (!std::strcmp(flag, "--random")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            opts.randomSchedules = n;
+        } else if (!std::strcmp(flag, "--max-outages")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            if (n < 2) {
+                std::fprintf(stderr,
+                             "--max-outages needs a count >= 2, "
+                             "got '%s'\n",
+                             val);
+                return false;
+            }
+            opts.maxOutages = n;
+        } else if (!std::strcmp(flag, "--seed")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            opts.rootSeed = n;
+        } else if (!std::strcmp(flag, "--report")) {
+            opts.reportOut = val;
+        } else if (!std::strcmp(flag, "--replay")) {
+            opts.replayPath = val;
         }
     }
     return true;
@@ -485,6 +643,153 @@ cmdArea(double mb, const Options &opts)
     return 0;
 }
 
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp) {
+        std::fprintf(stderr, "mouse_cli: cannot read '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+        text.append(buf, n);
+    }
+    std::fclose(fp);
+    return text;
+}
+
+void
+printOutcome(const inject::PointOutcome &o)
+{
+    std::printf("verdict: %s\n", inject::verdictName(o.verdict));
+    std::printf("committed %llu, reexecuted %llu\n",
+                static_cast<unsigned long long>(o.committed),
+                static_cast<unsigned long long>(o.reexecuted));
+    if (!o.note.empty()) {
+        std::printf("note: %s\n", o.note.c_str());
+    }
+}
+
+/** `inject --replay PATH`: re-run a saved reproducer (a standalone
+ *  artifact or a whole campaign report, whose first shrunk schedule
+ *  is picked).  Exit 1 when the failure reproduces. */
+int
+cmdInjectReplay(const Options &opts)
+{
+    const auto text = readFile(opts.replayPath);
+    if (!text) {
+        return 2;
+    }
+    const auto art = inject::parseReplayArtifact(*text);
+    if (!art) {
+        std::fprintf(stderr,
+                     "'%s' is not a replay artifact or campaign "
+                     "report with failures\n",
+                     opts.replayPath.c_str());
+        return 2;
+    }
+    const auto w = inject::makeCampaignWorkload(art->workload);
+    if (!w) {
+        std::fprintf(stderr, "unknown inject workload '%s'\n",
+                     art->workload.c_str());
+        return 2;
+    }
+    const inject::PointOutcome o =
+        inject::replaySchedule(*w, art->schedule);
+    const bool reproduced = o.verdict == inject::Verdict::kCorrupted ||
+                            o.verdict == inject::Verdict::kIncomplete;
+    if (opts.json) {
+        std::printf("%s\n",
+                    inject::replayArtifactJson(w->name, o.schedule)
+                        .c_str());
+    }
+    std::printf("replaying %llu-outage schedule on '%s'\n",
+                static_cast<unsigned long long>(
+                    o.schedule.points.size()),
+                w->name.c_str());
+    printOutcome(o);
+    std::printf(reproduced ? "failure REPRODUCED\n"
+                           : "no failure reproduced\n");
+    return reproduced ? 1 : 0;
+}
+
+int
+cmdInject(const Options &opts)
+{
+    if (!opts.replayPath.empty()) {
+        return cmdInjectReplay(opts);
+    }
+    const auto w = inject::makeCampaignWorkload(opts.workload);
+    if (!w) {
+        std::fprintf(stderr, "unknown inject workload '%s' (try:",
+                     opts.workload.c_str());
+        for (const std::string &name :
+             inject::campaignWorkloadNames()) {
+            std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+    }
+    OutputFile report;
+    if (!report.open(opts.reportOut)) {
+        return 2;
+    }
+
+    inject::CampaignConfig cfg;
+    cfg.checkpointPeriod = opts.sonicWindow;
+    cfg.restoreJournal = !opts.noJournal;
+    cfg.randomSchedules = opts.randomSchedules;
+    cfg.maxOutagesPerSchedule = opts.maxOutages;
+    cfg.rootSeed = opts.rootSeed;
+    cfg.threads = opts.threads;
+    const inject::CampaignReport rep = inject::runCampaign(*w, cfg);
+    report.write(rep.toJson() + "\n");
+    if (opts.json) {
+        std::printf("%s\n", rep.toJson().c_str());
+        return rep.clean() ? 0 : 1;
+    }
+
+    std::printf("%s: golden run commits %llu instructions "
+                "(%llu attempts)\n",
+                w->name.c_str(),
+                static_cast<unsigned long long>(rep.goldenCommitted),
+                static_cast<unsigned long long>(rep.goldenAttempts));
+    std::printf("checkpoint window %u, journal restore %s\n",
+                cfg.checkpointPeriod,
+                cfg.restoreJournal ? "on" : "OFF");
+    std::printf("%llu points:",
+                static_cast<unsigned long long>(rep.points));
+    for (std::size_t v = 0; v < inject::kNumVerdicts; ++v) {
+        std::printf(" %llu %s%s",
+                    static_cast<unsigned long long>(rep.verdicts[v]),
+                    inject::verdictName(
+                        static_cast<inject::Verdict>(v)),
+                    v + 1 < inject::kNumVerdicts ? "," : "\n");
+    }
+    std::printf("replayed commits: %llu\n",
+                static_cast<unsigned long long>(rep.replays));
+    if (rep.clean()) {
+        std::printf("clean: every faulted run converged to the "
+                    "golden state\n");
+        return 0;
+    }
+    std::printf("MISMATCHES: %llu points diverged; shrunk "
+                "reproducers:\n",
+                static_cast<unsigned long long>(rep.mismatches));
+    for (const inject::PointOutcome &f : rep.failures) {
+        std::printf("  [%s] %s\n", inject::verdictName(f.verdict),
+                    f.note.c_str());
+        std::printf("    %s\n",
+                    inject::replayArtifactJson(w->name, f.shrunk)
+                        .c_str());
+    }
+    return 1;
+}
+
 int
 cmdList()
 {
@@ -500,6 +805,12 @@ cmdList()
         std::printf(" %s", names::techName(tech));
     }
     std::printf("\n");
+    std::printf("inject workloads:\n");
+    for (const std::string &name : inject::campaignWorkloadNames()) {
+        const auto w = inject::makeCampaignWorkload(name);
+        std::printf("  %-10s %s\n", name.c_str(),
+                    w ? w->description.c_str() : "");
+    }
     return 0;
 }
 
@@ -515,23 +826,44 @@ main(int argc, char **argv)
     Options opts;
 
     if (cmd == "list") {
+        if (argc > 2) {
+            std::fprintf(stderr, "'list' takes no arguments\n");
+            return usage();
+        }
         return cmdList();
     }
     if (cmd == "info") {
-        return parseFlags(argc, argv, 2, opts) ? cmdInfo(opts)
-                                               : usage();
+        return parseFlags(argc, argv, 2, "info", {"--tech", "--json"},
+                          opts)
+                   ? cmdInfo(opts)
+                   : usage();
     }
     if (cmd == "area") {
         if (argc < 3) {
             return usage();
         }
-        const double mb = std::stod(argv[2]);
-        if (mb <= 0.0) {
-            std::fprintf(stderr, "capacity must be positive\n");
+        char *end = nullptr;
+        const double mb = std::strtod(argv[2], &end);
+        if (end == argv[2] || *end != '\0' || mb <= 0.0) {
+            std::fprintf(stderr,
+                         "capacity must be a positive number, got "
+                         "'%s'\n",
+                         argv[2]);
             return 2;
         }
-        return parseFlags(argc, argv, 3, opts) ? cmdArea(mb, opts)
-                                               : usage();
+        return parseFlags(argc, argv, 3, "area", {"--tech"}, opts)
+                   ? cmdArea(mb, opts)
+                   : usage();
+    }
+    if (cmd == "inject") {
+        return parseFlags(argc, argv, 2, "inject",
+                          {"--workload", "--sonic-window",
+                           "--no-journal", "--random",
+                           "--max-outages", "--seed", "--threads",
+                           "--report", "--replay", "--json"},
+                          opts)
+                   ? cmdInject(opts)
+                   : usage();
     }
     if (cmd == "bench" || cmd == "sweep" || cmd == "analyze") {
         if (argc < 3) {
@@ -543,16 +875,30 @@ main(int argc, char **argv)
             return 2;
         }
         const exp::Benchmark &b = exp::paperBenchmarks()[*bi];
-        if (!parseFlags(argc, argv, 3, opts)) {
-            return usage();
-        }
         if (cmd == "bench") {
-            return cmdBench(b, opts);
+            return parseFlags(argc, argv, 3, "bench",
+                              {"--tech", "--power", "--continuous",
+                               "--json", "--stats-out", "--trace-out",
+                               "--waveform-out", "--json-out",
+                               "--progress"},
+                              opts)
+                       ? cmdBench(b, opts)
+                       : usage();
         }
         if (cmd == "sweep") {
-            return cmdSweep(b, opts);
+            return parseFlags(argc, argv, 3, "sweep",
+                              {"--tech", "--threads", "--json",
+                               "--stats-out", "--trace-out",
+                               "--waveform-out", "--json-out",
+                               "--progress"},
+                              opts)
+                       ? cmdSweep(b, opts)
+                       : usage();
         }
-        return cmdAnalyze(b, opts);
+        return parseFlags(argc, argv, 3, "analyze", {"--tech"}, opts)
+                   ? cmdAnalyze(b, opts)
+                   : usage();
     }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
 }
