@@ -44,8 +44,36 @@ BM_TileGateExecution(benchmark::State &state)
         benchmark::DoNotOptimize(r);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["columns_per_gate"] =
+        static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_TileGateExecution)->Arg(16)->Arg(256)->Arg(1024);
+
+/**
+ * The retained per-column scalar model (the differential-test
+ * oracle) on the identical workload.  The items/sec ratio against
+ * BM_TileGateExecution is the word-parallel speedup; CI checks it
+ * stays machine-independently large (tools/check_bench_regression.py).
+ */
+void
+BM_TileGateExecutionScalar(benchmark::State &state)
+{
+    const GateLibrary lib(makeDeviceConfig(TechConfig::ProjectedStt));
+    Tile tile(1024, 1024);
+    ColumnSet cols(1024);
+    cols.addRange(0, static_cast<ColAddr>(state.range(0) - 1));
+    Tile::setScalarOracle(true);
+    for (auto _ : state) {
+        auto r = tile.executeGate(lib, GateType::kNand2, {0, 2, 0},
+                                  1, cols);
+        benchmark::DoNotOptimize(r);
+    }
+    Tile::setScalarOracle(false);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["columns_per_gate"] =
+        static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TileGateExecutionScalar)->Arg(16)->Arg(256)->Arg(1024);
 
 void
 BM_FunctionalAdder(benchmark::State &state)

@@ -1,30 +1,46 @@
 #include "tile.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
 #include "common/logging.hh"
 #include "device/network.hh"
 
 namespace mouse
 {
 
+namespace
+{
+
+std::atomic<bool> g_scalar_oracle{false};
+
+} // namespace
+
+void
+Tile::setScalarOracle(bool enabled)
+{
+    g_scalar_oracle.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+Tile::scalarOracle()
+{
+    return g_scalar_oracle.load(std::memory_order_relaxed);
+}
+
 std::vector<ColAddr>
 ColumnSet::columns() const
 {
     std::vector<ColAddr> out;
     out.reserve(count_);
-    for (unsigned w = 0; w < words_.size(); ++w) {
-        std::uint64_t bits = words_[w];
-        while (bits) {
-            const int b = __builtin_ctzll(bits);
-            out.push_back(static_cast<ColAddr>(w * 64 + b));
-            bits &= bits - 1;
-        }
-    }
+    forEachColumn([&out](ColAddr col) { out.push_back(col); });
     return out;
 }
 
 Tile::Tile(unsigned rows, unsigned cols)
-    : rows_(rows), cols_(cols),
-      bits_((static_cast<std::size_t>(rows) * cols + 63) / 64, 0)
+    : rows_(rows), cols_(cols), wordsPerRow_((cols + 63) / 64),
+      bits_(static_cast<std::size_t>(rows) * ((cols + 63) / 64), 0)
 {
     mouse_assert(rows_ > 0 && cols_ > 0, "empty tile");
     mouse_assert(rows_ <= 1024 && cols_ <= 1024,
@@ -35,20 +51,33 @@ Bit
 Tile::bit(RowAddr row, ColAddr col) const
 {
     mouse_assert(row < rows_ && col < cols_, "tile address OOB");
-    const std::size_t i = index(row, col);
-    return static_cast<Bit>((bits_[i >> 6] >> (i & 63)) & 1);
+    return static_cast<Bit>(
+        (bits_[rowBase(row) + (col >> 6)] >> (col & 63)) & 1);
 }
 
 void
 Tile::setBit(RowAddr row, ColAddr col, Bit value)
 {
     mouse_assert(row < rows_ && col < cols_, "tile address OOB");
-    const std::size_t i = index(row, col);
+    const std::size_t i = rowBase(row) + (col >> 6);
     if (value) {
-        bits_[i >> 6] |= (1ULL << (i & 63));
+        bits_[i] |= (1ULL << (col & 63));
     } else {
-        bits_[i >> 6] &= ~(1ULL << (i & 63));
+        bits_[i] &= ~(1ULL << (col & 63));
     }
+}
+
+std::uint64_t
+Tile::activeWord(const ColumnSet &active, unsigned w) const
+{
+    const std::uint64_t raw =
+        w < active.numWords() ? active.word(w) : 0;
+    const unsigned base = w * 64;
+    const std::uint64_t valid = cols_ - base >= 64
+                                    ? ~0ULL
+                                    : (1ULL << (cols_ - base)) - 1;
+    mouse_assert((raw & ~valid) == 0, "tile address OOB");
+    return raw & valid;
 }
 
 GateExecResult
@@ -80,11 +109,6 @@ Tile::executeGate(const GateLibrary &lib, GateType g,
     const double energy_fraction =
         pulse_completed ? 1.0 : cycle_fraction / pulse_fraction;
 
-    GateExecResult result;
-    result.columns = active.count();
-    result.completed = pulse_completed;
-
-    const Bit target = static_cast<Bit>(!gatePreset(g));
     // Logic-line span of this execution (parasitic wire length).
     RowAddr row_lo = out_row;
     RowAddr row_hi = out_row;
@@ -98,8 +122,127 @@ Tile::executeGate(const GateLibrary &lib, GateType g,
     mouse_assert(span <= solved.maxRowSpan ||
                      cfg.wireResistancePerCell == 0.0,
                  "operand span exceeds the solved operating point");
+
+    if (scalarOracle()) {
+        return executeGateScalar(lib, solved, g, in_rows, out_row,
+                                 active, span, pulse_completed,
+                                 energy_fraction);
+    }
+
+    // Word-parallel fast path: the current depends only on (packed
+    // input combo, actual output state, span), so fold 64 columns at
+    // a time against the precomputed operating table.  With ideal
+    // wires the logic-line term is identically zero and the cached
+    // span-0 table is bit-exact at any span.
+    const bool span_dependent =
+        cfg.wireResistancePerCell > 0.0 && span > 0;
+    GateOpTable local;
+    const GateOpTable *tbl;
+    if (span_dependent) {
+        local = lib.opTableAtSpan(g, span);
+        tbl = &local;
+    } else {
+        tbl = &lib.opTable(g);
+    }
+
+    GateExecResult result;
+    result.columns = active.count();
+    result.completed = pulse_completed;
+
+    const Bit preset = gatePreset(g);
+    const bool target = !preset;
+    const unsigned num_combos = tbl->numCombos;
+    // Column populations per (combo, actual output state).
+    std::array<std::array<std::uint64_t, 2>, 8> counts{};
+    unsigned switched = 0;
+
+    for (unsigned w = 0; w < wordsPerRow_; ++w) {
+        const std::uint64_t act = activeWord(active, w);
+        if (act == 0) {
+            continue;
+        }
+        // Input row planes: bit c of plane[i] is input i of column c.
+        std::array<std::uint64_t, 3> plane{};
+        for (int i = 0; i < n; ++i) {
+            plane[static_cast<std::size_t>(i)] =
+                bits_[rowBase(in_rows[static_cast<std::size_t>(i)]) +
+                      w];
+        }
+        const std::size_t out_idx = rowBase(out_row) + w;
+        const std::uint64_t out_w = bits_[out_idx];
+        std::uint64_t flip = 0;
+        for (unsigned combo = 0; combo < num_combos; ++combo) {
+            // Membership mask: active columns whose inputs read
+            // exactly this combination.
+            std::uint64_t m = act;
+            for (int i = 0; i < n; ++i) {
+                const std::uint64_t p =
+                    plane[static_cast<std::size_t>(i)];
+                m &= ((combo >> i) & 1) ? p : ~p;
+            }
+            if (m == 0) {
+                continue;
+            }
+            // Split by the *actual* output state (bit set = AP) so
+            // un-preset outputs draw their honest current.
+            const std::uint64_t m_ap = m & out_w;
+            const std::uint64_t m_p = m & ~out_w;
+            counts[combo][0] +=
+                static_cast<std::uint64_t>(std::popcount(m_p));
+            counts[combo][1] +=
+                static_cast<std::uint64_t>(std::popcount(m_ap));
+            // Directionality: only outputs still at the preset state
+            // can flip; a switching-level current through an
+            // already-switched output cannot revert it (idempotency).
+            if (tbl->switches[combo][preset]) {
+                flip |= preset ? m_ap : m_p;
+            }
+        }
+        if (pulse_completed && flip != 0) {
+            bits_[out_idx] = target ? (out_w | flip) : (out_w & ~flip);
+            switched += static_cast<unsigned>(std::popcount(flip));
+        }
+    }
+    // Columns past the tile edge would have tripped the scalar
+    // path's bounds assert; keep that contract for oversized sets.
+    for (unsigned w = wordsPerRow_; w < active.numWords(); ++w) {
+        mouse_assert(active.word(w) == 0, "tile address OOB");
+    }
+
+    // Deterministic fixed-order energy fold: one multiply per
+    // (combo, out-state) bucket, always in index order, so the total
+    // is independent of thread count and schedule.
+    for (unsigned combo = 0; combo < num_combos; ++combo) {
+        for (unsigned out = 0; out < 2; ++out) {
+            if (counts[combo][out] != 0) {
+                result.deviceEnergy +=
+                    static_cast<double>(counts[combo][out]) *
+                    (tbl->pulseEnergy[combo][out] * energy_fraction);
+            }
+        }
+    }
+    result.switched = switched;
+    return result;
+}
+
+GateExecResult
+Tile::executeGateScalar(const GateLibrary &lib, const SolvedGate &solved,
+                        GateType g,
+                        const std::array<RowAddr, 3> &in_rows,
+                        RowAddr out_row, const ColumnSet &active,
+                        unsigned span, bool pulse_completed,
+                        double energy_fraction)
+{
+    const DeviceConfig &cfg = lib.config();
+    const int n = gateNumInputs(g);
+    const Bit target = static_cast<Bit>(!gatePreset(g));
+
+    GateExecResult result;
+    result.columns = active.count();
+    result.completed = pulse_completed;
+
     std::vector<MtjState> in_states(static_cast<std::size_t>(n));
-    for (ColAddr col : active.columns()) {
+    active.forEachColumn([&](ColAddr col) {
         unsigned combo = 0;
         for (int i = 0; i < n; ++i) {
             const Bit b = bit(in_rows[static_cast<std::size_t>(i)], col);
@@ -124,7 +267,7 @@ Tile::executeGate(const GateLibrary &lib, GateType g,
                 ++result.switched;
             }
         }
-    }
+    });
     return result;
 }
 
@@ -140,14 +283,20 @@ Tile::presetRow(const GateLibrary &lib, RowAddr row, Bit value,
     const double energy_fraction =
         completed ? 1.0 : cycle_fraction / pulse_fraction;
 
-    Joules energy = 0.0;
-    for (ColAddr col : active.columns()) {
-        energy += w.energy * energy_fraction;
-        if (completed) {
-            setBit(row, col, value);
+    std::uint64_t pulses = 0;
+    for (unsigned wi = 0; wi < wordsPerRow_; ++wi) {
+        const std::uint64_t act = activeWord(active, wi);
+        pulses += static_cast<std::uint64_t>(std::popcount(act));
+        if (completed && act != 0) {
+            const std::size_t i = rowBase(row) + wi;
+            bits_[i] = value ? (bits_[i] | act) : (bits_[i] & ~act);
         }
     }
-    return energy;
+    for (unsigned wi = wordsPerRow_; wi < active.numWords(); ++wi) {
+        mouse_assert(active.word(wi) == 0, "tile address OOB");
+    }
+    return static_cast<double>(pulses) *
+           (w.energy * energy_fraction);
 }
 
 Joules
@@ -156,8 +305,14 @@ Tile::readRow(const GateLibrary &lib, RowAddr row,
 {
     mouse_assert(row < rows_, "read row OOB");
     out.resize(cols_);
-    for (ColAddr col = 0; col < cols_; ++col) {
-        out[col] = bit(row, col);
+    ColAddr col = 0;
+    for (unsigned w = 0; w < wordsPerRow_; ++w) {
+        std::uint64_t word = bits_[rowBase(row) + w];
+        const unsigned limit = std::min(64u, cols_ - col);
+        for (unsigned b = 0; b < limit; ++b, ++col) {
+            out[col] = static_cast<Bit>(word & 1);
+            word >>= 1;
+        }
     }
     return lib.readOp().energy * cols_;
 }
@@ -176,8 +331,14 @@ Tile::writeRow(const GateLibrary &lib, RowAddr row,
         completed ? 1.0 : cycle_fraction / pulse_fraction;
 
     if (completed) {
-        for (ColAddr col = 0; col < cols_; ++col) {
-            setBit(row, col, data[col]);
+        ColAddr col = 0;
+        for (unsigned wi = 0; wi < wordsPerRow_; ++wi) {
+            std::uint64_t word = 0;
+            const unsigned limit = std::min(64u, cols_ - col);
+            for (unsigned b = 0; b < limit; ++b, ++col) {
+                word |= static_cast<std::uint64_t>(data[col] & 1) << b;
+            }
+            bits_[rowBase(row) + wi] = word;
         }
     }
     return w.energy * cols_ * energy_fraction;

@@ -5,10 +5,19 @@
  *
  * The tile is the bit-exact functional model.  Every stored bit is an
  * MTJ state; logic instructions are executed *physically*: the gate
- * current is computed per active column from the actual input MTJ
- * resistances through the solved operating voltage, and the output
- * MTJ switches iff that current exceeds the critical current — with
- * the direction constraint that makes every operation idempotent.
+ * current depends on the actual input MTJ resistances through the
+ * solved operating voltage, and the output MTJ switches iff that
+ * current exceeds the critical current — with the direction
+ * constraint that makes every operation idempotent.
+ *
+ * Execution is word-parallel: the current depends only on (packed
+ * input combo, actual output state, operand row span), so each
+ * 64-column word is evaluated by deriving per-combo membership masks
+ * from the input row planes with bitwise ops and folding popcounts
+ * against a ≤16-entry operating table (GateOpTable).  The original
+ * per-column scalar model is retained behind setScalarOracle() as
+ * the differential-testing oracle; see docs/ARCHITECTURE.md
+ * ("Functional fast path").
  *
  * Interrupted execution is modelled explicitly: an instruction cycle
  * of length cycleTime carries its current pulse in the first
@@ -75,7 +84,38 @@ class ColumnSet
     /** Number of currently active columns. */
     unsigned count() const { return count_; }
 
-    /** Enumerate active columns in ascending order. */
+    /** Number of 64-column machine words backing the set. */
+    unsigned
+    numWords() const
+    {
+        return static_cast<unsigned>(words_.size());
+    }
+
+    /** Raw 64-column membership word @p w (bit c = column 64w+c). */
+    std::uint64_t word(unsigned w) const { return words_[w]; }
+
+    /**
+     * Visit active columns in ascending order without materializing
+     * a vector — the hot-path replacement for columns().
+     */
+    template <typename Fn>
+    void
+    forEachColumn(Fn &&fn) const
+    {
+        for (unsigned w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                fn(static_cast<ColAddr>(w * 64 +
+                                        static_cast<unsigned>(b)));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /** Enumerate active columns in ascending order.  Allocates; kept
+     *  for tests and debug dumps only — hot paths use word()/
+     *  forEachColumn(). */
     std::vector<ColAddr> columns() const;
 
   private:
@@ -159,16 +199,44 @@ class Tile
     /** Snapshot all bits (row-major) for equality checks in tests. */
     std::vector<Bit> snapshot() const;
 
+    /**
+     * Route executeGate() through the retained per-column scalar
+     * model instead of the word-parallel fast path.  The scalar path
+     * is the differential-testing oracle; both must produce
+     * bit-identical MTJ state.  Global and sticky — flip it only
+     * around whole runs, never concurrently with execution that
+     * expects the other mode.
+     */
+    static void setScalarOracle(bool enabled);
+    static bool scalarOracle();
+
   private:
+    /** Word index of the first word of @p row (rows are word-aligned
+     *  so row planes can be combined with bitwise ops). */
     std::size_t
-    index(RowAddr row, ColAddr col) const
+    rowBase(RowAddr row) const
     {
-        return static_cast<std::size_t>(row) * cols_ + col;
+        return static_cast<std::size_t>(row) * wordsPerRow_;
     }
+
+    GateExecResult executeGateScalar(const GateLibrary &lib,
+                                     const SolvedGate &solved,
+                                     GateType g,
+                                     const std::array<RowAddr, 3> &in_rows,
+                                     RowAddr out_row,
+                                     const ColumnSet &active,
+                                     unsigned span, bool pulse_completed,
+                                     double energy_fraction);
+
+    /** Active-column word @p w clipped to this tile's width, with an
+     *  out-of-bounds assert matching the scalar path's. */
+    std::uint64_t activeWord(const ColumnSet &active, unsigned w) const;
 
     unsigned rows_;
     unsigned cols_;
-    /** Bit-packed MTJ states, row-major. */
+    /** 64-bit words per row (rows padded to a word boundary). */
+    unsigned wordsPerRow_;
+    /** Bit-packed MTJ states, row-major, each row word-aligned. */
     std::vector<std::uint64_t> bits_;
 };
 

@@ -2,8 +2,6 @@
 
 #include <chrono>
 
-#include "common/logging.hh"
-
 namespace mouse
 {
 
@@ -32,16 +30,14 @@ Accelerator::execute(const RunRequest &req)
     RunResult res;
     const bool harvested = req.power == PowerMode::Harvested;
     const bool scheduled = req.power == PowerMode::Scheduled;
-    if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
-        mouse_fatal("RunRequest with Trace fidelity needs a trace");
-    }
-    if (scheduled && req.schedule == nullptr) {
-        mouse_fatal("RunRequest with Scheduled power needs a "
-                    "schedule");
-    }
-    if (scheduled && req.fidelity != Fidelity::Functional) {
-        mouse_fatal("Scheduled power requires Functional fidelity "
-                    "(outages land at bit-exact micro-steps)");
+    res.error = validateRunRequest(req);
+    if (res.error != RunError::kNone) {
+        // Rejected before simulating: all-zero stats, but metadata
+        // filled so the caller can still report provenance.
+        res.meta.tech = lib_->config().name();
+        res.meta.margin = cfg_.gateMargin;
+        res.meta.label = req.label;
+        return res;
     }
     obs::Telemetry telem = obs::Telemetry::make(req.telemetry);
     obs::Telemetry *tp = telem.enabled() ? &telem : nullptr;
@@ -91,49 +87,6 @@ Accelerator::execute(const RunRequest &req)
         res.meta.checkpointPeriod = req.harvest.checkpointPeriod;
     }
     return res;
-}
-
-RunStats
-Accelerator::runContinuous()
-{
-    RunRequest req;
-    req.fidelity = Fidelity::Functional;
-    req.power = PowerMode::Continuous;
-    return execute(req).stats;
-}
-
-RunStats
-Accelerator::runHarvested(const HarvestConfig &harvest)
-{
-    RunRequest req;
-    req.fidelity = Fidelity::Functional;
-    req.power = PowerMode::Harvested;
-    req.harvest = harvest;
-    return execute(req).stats;
-}
-
-RunStats
-Accelerator::simulateContinuous(const Trace &trace) const
-{
-    RunRequest req;
-    req.fidelity = Fidelity::Trace;
-    req.power = PowerMode::Continuous;
-    req.trace = &trace;
-    // Trace fidelity touches only the const EnergyModel, so routing
-    // the const shims through the non-const execute() is safe.
-    return const_cast<Accelerator *>(this)->execute(req).stats;
-}
-
-RunStats
-Accelerator::simulateHarvested(const Trace &trace,
-                               const HarvestConfig &harvest) const
-{
-    RunRequest req;
-    req.fidelity = Fidelity::Trace;
-    req.power = PowerMode::Harvested;
-    req.harvest = harvest;
-    req.trace = &trace;
-    return const_cast<Accelerator *>(this)->execute(req).stats;
 }
 
 } // namespace mouse

@@ -4,12 +4,10 @@
  *
  * An Accelerator bundles one device configuration (Modern STT /
  * Projected STT / Projected SHE) with a tile grid, instruction
- * memory, controller, and energy model.  The four execution modes
- * the paper evaluates — {functional, trace} x {continuous,
- * harvested} — are selected declaratively by a RunRequest given to
- * execute(); the four named methods (runContinuous, runHarvested,
- * simulateContinuous, simulateHarvested) remain as thin shims over
- * it.
+ * memory, controller, and energy model.  The execution modes the
+ * paper evaluates — {functional, trace} x {continuous, harvested},
+ * plus scripted-outage fault injection — are selected declaratively
+ * by a RunRequest given to execute(), the single entry point.
  *
  * A typical downstream user writes a kernel with KernelBuilder (or
  * maps an SVM/BNN with ml/mapping.hh), loads it, and reads stats and
@@ -66,32 +64,12 @@ class Accelerator
      * Functional fidelity executes the loaded program on the
      * bit-exact machine; Trace fidelity requires req.trace.  The
      * result carries the RunStats plus wall-clock and metadata.
+     *
+     * Malformed requests (validateRunRequest) are rejected up
+     * front: the result carries the RunError and all-zero stats,
+     * and nothing is simulated.
      */
     RunResult execute(const RunRequest &req);
-
-    // -- Legacy entry points: thin shims over execute() -------------
-    //
-    // Deprecated since the RunRequest API landed; every in-tree
-    // caller now uses execute().  Removal plan: one deprecation
-    // cycle, then deleted — see docs/EXPERIMENTS_API.md ("Legacy
-    // entry points").
-
-    /** Functional run to HALT under continuous power. */
-    [[deprecated("build a RunRequest and call execute()")]]
-    RunStats runContinuous();
-
-    /** Functional run to HALT under the harvesting environment. */
-    [[deprecated("build a RunRequest and call execute()")]]
-    RunStats runHarvested(const HarvestConfig &harvest);
-
-    /** Performance-model run of a compressed trace. */
-    [[deprecated("build a RunRequest and call execute()")]]
-    RunStats simulateContinuous(const Trace &trace) const;
-
-    /** Performance-model run under harvesting. */
-    [[deprecated("build a RunRequest and call execute()")]]
-    RunStats simulateHarvested(const Trace &trace,
-                               const HarvestConfig &harvest) const;
 
   private:
     MouseConfig cfg_;

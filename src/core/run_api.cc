@@ -28,6 +28,73 @@ num(std::uint64_t v)
 
 } // namespace
 
+const char *
+runErrorName(RunError e)
+{
+    switch (e) {
+      case RunError::kNone:
+        return "none";
+      case RunError::kTraceMissing:
+        return "trace_missing";
+      case RunError::kScheduleMissing:
+        return "schedule_missing";
+      case RunError::kScheduleWithoutScheduledPower:
+        return "schedule_without_scheduled_power";
+      case RunError::kMaxAttemptsWithoutScheduledPower:
+        return "max_attempts_without_scheduled_power";
+      case RunError::kScheduledTraceFidelity:
+        return "scheduled_trace_fidelity";
+    }
+    return "unknown";
+}
+
+const char *
+runErrorMessage(RunError e)
+{
+    switch (e) {
+      case RunError::kNone:
+        return "ok";
+      case RunError::kTraceMissing:
+        return "Trace fidelity needs a trace: set req.trace";
+      case RunError::kScheduleMissing:
+        return "Scheduled power needs an outage script: set "
+               "req.schedule";
+      case RunError::kScheduleWithoutScheduledPower:
+        return "req.schedule is only read under Scheduled power: "
+               "set req.power = PowerMode::Scheduled or drop the "
+               "schedule";
+      case RunError::kMaxAttemptsWithoutScheduledPower:
+        return "req.maxAttempts is only read under Scheduled power: "
+               "set req.power = PowerMode::Scheduled or leave it 0";
+      case RunError::kScheduledTraceFidelity:
+        return "Scheduled power requires Functional fidelity "
+               "(outages land at bit-exact micro-steps)";
+    }
+    return "unknown run error";
+}
+
+RunError
+validateRunRequest(const RunRequest &req)
+{
+    const bool scheduled = req.power == PowerMode::Scheduled;
+    if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
+        return RunError::kTraceMissing;
+    }
+    if (scheduled && req.fidelity != Fidelity::Functional) {
+        return RunError::kScheduledTraceFidelity;
+    }
+    if (scheduled && req.schedule == nullptr) {
+        return RunError::kScheduleMissing;
+    }
+    if (!scheduled && req.schedule != nullptr) {
+        return RunError::kScheduleWithoutScheduledPower;
+    }
+    if (!scheduled && req.maxAttempts != 0) {
+        return RunError::kMaxAttemptsWithoutScheduledPower;
+    }
+    return RunError::kNone;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -88,6 +155,11 @@ RunResult::toJson() const
 {
     std::string j = "{";
     j += "\"schema\":" + std::to_string(kResultSchemaVersion) + ",";
+    if (error != RunError::kNone) {
+        j += "\"error\":\"";
+        j += runErrorName(error);
+        j += "\",";
+    }
     j += "\"point\":{";
     j += "\"index\":" + num(static_cast<std::uint64_t>(meta.index));
     j += ",\"tech\":\"" + jsonEscape(meta.tech) + "\"";

@@ -85,6 +85,37 @@ struct RunRequest
     obs::TraceConfig telemetry{};
 };
 
+/**
+ * Typed rejection of a malformed RunRequest.  execute() validates
+ * the request up front and carries one of these in the RunResult
+ * instead of dying mid-run, so callers (the CLI, sweep drivers) can
+ * report a usage error and exit cleanly.
+ */
+enum class RunError
+{
+    kNone = 0,
+    /** Trace fidelity but req.trace == nullptr. */
+    kTraceMissing,
+    /** Scheduled power but req.schedule == nullptr. */
+    kScheduleMissing,
+    /** req.schedule set but power is not Scheduled. */
+    kScheduleWithoutScheduledPower,
+    /** req.maxAttempts set but power is not Scheduled. */
+    kMaxAttemptsWithoutScheduledPower,
+    /** Scheduled power with Trace fidelity (outages land at
+     *  bit-exact micro-steps, which only Functional has). */
+    kScheduledTraceFidelity,
+};
+
+/** Stable machine-readable name of a RunError ("trace_missing"). */
+const char *runErrorName(RunError e);
+
+/** Human-oriented one-line description with the fix spelled out. */
+const char *runErrorMessage(RunError e);
+
+/** Check @p req for the invalid combinations above; kNone if OK. */
+RunError validateRunRequest(const RunRequest &req);
+
 /** Identity of the sweep-grid point a result belongs to. */
 struct PointMeta
 {
@@ -106,9 +137,14 @@ struct PointMeta
 struct RunResult
 {
     RunStats stats;
+    /** kNone on success; otherwise the request was rejected before
+     *  simulating and stats are all-zero. */
+    RunError error = RunError::kNone;
     /** Host wall-clock time spent simulating, in seconds. */
     double wallSeconds = 0.0;
     PointMeta meta;
+
+    bool ok() const { return error == RunError::kNone; }
     /** Hierarchical stats tree; null unless telemetry.stats. */
     std::shared_ptr<obs::StatRegistry> statsTree;
     /** Event trace / waveform; null unless telemetry asked. */
@@ -122,8 +158,9 @@ struct RunResult
 };
 
 /** Version of every JSON document this API emits (RunResult,
- *  SweepResult, and the injection reports of src/inject). */
-constexpr int kResultSchemaVersion = 2;
+ *  SweepResult, and the injection reports of src/inject).
+ *  Schema 3 added the "error" field rejected requests carry. */
+constexpr int kResultSchemaVersion = 3;
 
 /** JSON object for a RunStats (used by RunResult::toJson). */
 std::string toJson(const RunStats &stats);

@@ -81,6 +81,25 @@ gateOutputCurrent(const DeviceConfig &cfg, Volts voltage,
                                         preset_state, row_span);
 }
 
+std::array<Ohms, 8>
+comboParallelResistances(const DeviceConfig &cfg, int num_inputs)
+{
+    mouse_assert(num_inputs >= 1 && num_inputs <= 3,
+                 "unsupported gate fan-in");
+    std::array<Ohms, 8> out{};
+    const unsigned num_combos = 1u << num_inputs;
+    std::vector<Ohms> branches;
+    for (unsigned combo = 0; combo < num_combos; ++combo) {
+        branches.clear();
+        for (int i = 0; i < num_inputs; ++i) {
+            branches.push_back(inputBranchResistance(
+                cfg, stateFromBit((combo >> i) & 1)));
+        }
+        out[combo] = parallelResistance(branches);
+    }
+    return out;
+}
+
 Ohms
 writePathResistance(const DeviceConfig &cfg, MtjState state)
 {

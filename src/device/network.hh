@@ -22,6 +22,7 @@
 #ifndef MOUSE_DEVICE_NETWORK_HH
 #define MOUSE_DEVICE_NETWORK_HH
 
+#include <array>
 #include <vector>
 
 #include "common/types.hh"
@@ -76,6 +77,35 @@ Amperes gateOutputCurrent(const DeviceConfig &cfg, Volts voltage,
                           const std::vector<MtjState> &input_states,
                           MtjState preset_state,
                           unsigned row_span = 0);
+
+/**
+ * Factored form of the gate loop: the parallel resistance of the
+ * input branch group for every packed input combination (bit i of
+ * the index = state of input i, LSB-first, AP = 1).  Only the first
+ * 2^num_inputs entries are meaningful.
+ *
+ * Each entry is computed by the same parallelResistance() fold the
+ * per-column solver uses, so currents re-derived from it match
+ * gateOutputCurrent() bit for bit.
+ */
+std::array<Ohms, 8> comboParallelResistances(const DeviceConfig &cfg,
+                                             int num_inputs);
+
+/**
+ * LUT-backed twin of gateOutputCurrent(): the output-device current
+ * for a precomputed input parallel resistance.  Evaluates the loop
+ * in the exact association the full solver uses —
+ * (parallel + wire) + output — so the result is bit-identical.
+ */
+inline Amperes
+gateOutputCurrentFactored(const DeviceConfig &cfg, Volts voltage,
+                          Ohms input_parallel_r, MtjState out_state,
+                          unsigned row_span)
+{
+    return voltage /
+           ((input_parallel_r + logicLineResistance(cfg, row_span)) +
+            outputBranchResistance(cfg, out_state));
+}
 
 /** Series resistance of the memory *write* path of a single cell. */
 Ohms writePathResistance(const DeviceConfig &cfg, MtjState state);

@@ -134,6 +134,7 @@ runSchedule(const CampaignWorkload &w,
     req.schedule = &schedule;
     req.maxAttempts = attemptGuard;
     const RunResult res = acc->execute(req);
+    mouse_assert(res.ok(), "campaign built an invalid RunRequest");
     o.committed = res.stats.instructionsCommitted;
 
     const MachineState fin = captureState(*acc);
@@ -207,6 +208,8 @@ runCampaign(const CampaignWorkload &w, const CampaignConfig &cfg)
     goldenReq.fidelity = Fidelity::Functional;
     goldenReq.power = PowerMode::Continuous;
     const RunResult goldenRes = goldenAcc->execute(goldenReq);
+    mouse_assert(goldenRes.ok(),
+                 "campaign built an invalid golden RunRequest");
     const MachineState golden = captureState(*goldenAcc);
     if (!golden.halted) {
         mouse_fatal("golden run of workload '%s' did not halt",

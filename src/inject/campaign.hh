@@ -127,7 +127,7 @@ struct CampaignReport
     bool clean() const { return mismatches == 0; }
 
     /**
-     * Deterministic JSON document (schema 2): configuration echo,
+     * Deterministic JSON document (schema 3): configuration echo,
      * verdict counts, failures with embedded replayable schedules,
      * and the inject.* stat tree.  Contains no wall-clock or thread
      * count, so equal campaigns serialize byte-identically.

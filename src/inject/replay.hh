@@ -28,7 +28,7 @@ struct ReplayArtifact
     OutageSchedule schedule;
 };
 
-/** Standalone single-schedule artifact document (schema 2). */
+/** Standalone single-schedule artifact document (schema 3). */
 std::string replayArtifactJson(const std::string &workload,
                                const OutageSchedule &schedule);
 

@@ -19,6 +19,8 @@ GateLibrary::GateLibrary(const DeviceConfig &cfg, double margin)
         gates_[static_cast<std::size_t>(i)] =
             solveGate(cfg_, static_cast<GateType>(i), margin,
                       max_span);
+        opTables_[static_cast<std::size_t>(i)] =
+            opTableAtSpan(static_cast<GateType>(i), 0);
     }
 
     // Write pulse: drive overdrive * I_c through the worst-case
@@ -47,6 +49,29 @@ GateLibrary::GateLibrary(const DeviceConfig &cfg, double margin)
     // configuration, otherwise the compiler cannot target it.
     mouse_assert(feasible(GateType::kNand2) && feasible(GateType::kNot),
                  "NAND2/NOT infeasible: configuration unusable");
+}
+
+GateOpTable
+GateLibrary::opTableAtSpan(GateType g, unsigned row_span) const
+{
+    const SolvedGate &solved = gate(g);
+    GateOpTable t;
+    t.numCombos = 1u << gateNumInputs(g);
+    if (!solved.feasible) {
+        return t;
+    }
+    for (unsigned combo = 0; combo < t.numCombos; ++combo) {
+        for (unsigned out = 0; out < 2; ++out) {
+            const Amperes i = gateOutputCurrentFactored(
+                cfg_, solved.voltage, solved.inputParallelR[combo],
+                stateFromBit(static_cast<Bit>(out)), row_span);
+            t.current[combo][out] = i;
+            t.pulseEnergy[combo][out] =
+                solved.voltage * i * solved.pulseTime;
+            t.switches[combo][out] = i >= cfg_.mtj.switchingCurrent;
+        }
+    }
+    return t;
 }
 
 std::vector<GateType>

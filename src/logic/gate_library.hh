@@ -43,6 +43,25 @@ struct ReadOp
     Seconds pulseTime = 0.0;
 };
 
+/**
+ * Operating table of one gate execution at one operand row span:
+ * for every (packed input combination × actual output state), the
+ * output-device current, the supply energy of one full pulse, and
+ * whether that current exceeds the critical current.  This is the
+ * lookup table the word-parallel Tile path folds popcounts against —
+ * at most 2^n × 2 entries replace one network solve per column.
+ */
+struct GateOpTable
+{
+    unsigned numCombos = 0;
+    /** [packed combo][actual output state (P=0, AP=1)]. */
+    std::array<std::array<Amperes, 2>, 8> current{};
+    /** Supply energy of one complete pulse, (V·I)·t. */
+    std::array<std::array<Joules, 2>, 8> pulseEnergy{};
+    /** current >= switchingCurrent (threshold decision). */
+    std::array<std::array<bool, 2>, 8> switches{};
+};
+
 /** Solved gates and memory operations for one device configuration. */
 class GateLibrary
 {
@@ -91,12 +110,33 @@ class GateLibrary
     const WriteOp &writeOp() const { return write_; }
     const ReadOp &readOp() const { return read_; }
 
+    /**
+     * Span-0 operating table of @p g, cached at construction.  For
+     * the standard technologies (wireResistancePerCell == 0) the
+     * logic-line term is identically zero, so this one table is
+     * bit-exact at *any* operand row span.
+     */
+    const GateOpTable &
+    opTable(GateType g) const
+    {
+        return opTables_[static_cast<std::size_t>(g)];
+    }
+
+    /**
+     * Span-dependent operating table for parasitic-wire
+     * configurations: re-derives the ≤16 currents from the factored
+     * combo resistances (SolvedGate::inputParallelR) at @p row_span,
+     * matching the per-column solver bit for bit.
+     */
+    GateOpTable opTableAtSpan(GateType g, unsigned row_span) const;
+
     /** All gate types feasible under this technology. */
     std::vector<GateType> feasibleGates() const;
 
   private:
     DeviceConfig cfg_;
     std::array<SolvedGate, kNumGateTypes> gates_;
+    std::array<GateOpTable, kNumGateTypes> opTables_;
     WriteOp write_;
     ReadOp read_;
 };

@@ -41,6 +41,8 @@ solveGate(const DeviceConfig &cfg, GateType gate, double margin,
     const MtjState preset = stateFromBit(gatePreset(gate));
     const Amperes ic = cfg.mtj.switchingCurrent;
 
+    solved.inputParallelR = comboParallelResistances(cfg, n);
+
     // Find the feasible window over all input combinations: switch
     // cases see the most wire (max span), hold cases the least.
     Ohms max_switch_r = 0.0;

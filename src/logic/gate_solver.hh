@@ -58,6 +58,13 @@ struct SolvedGate
      * entries are meaningful.
      */
     std::array<Joules, 8> energyByCombo{};
+    /**
+     * Parallel resistance of the input branch group per packed input
+     * combination — the factored term of the loop resistance that the
+     * word-parallel execution path re-derives span-dependent currents
+     * from without re-solving the network.
+     */
+    std::array<Ohms, 8> inputParallelR{};
     /** Max and mean of energyByCombo over valid combos. */
     Joules worstEnergy = 0.0;
     Joules avgEnergy = 0.0;

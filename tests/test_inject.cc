@@ -17,6 +17,7 @@
 
 #include "inject/campaign.hh"
 #include "inject/replay.hh"
+#include "arch/tile.hh"
 #include "inject/workload.hh"
 #include "sim/outage_schedule.hh"
 
@@ -277,6 +278,24 @@ TEST(Campaign, ReportIsByteIdenticalAcrossThreadCounts)
     EXPECT_EQ(fserial, fparallel);
 }
 
+TEST(Campaign, ReportIsByteIdenticalScalarVsWordParallel)
+{
+    // The word-parallel tile fast path must not move a single
+    // verdict: a campaign run through the retained scalar oracle
+    // (the pre-fast-path model) serializes byte-for-byte the same.
+    const CampaignWorkload w = gates();
+    CampaignConfig cfg;
+    cfg.fractions = {0.0, 0.5, 1.0};
+    cfg.randomSchedules = 4;
+    cfg.threads = 2;
+
+    Tile::setScalarOracle(true);
+    const std::string golden = runCampaign(w, cfg).toJson();
+    Tile::setScalarOracle(false);
+    const std::string fast = runCampaign(w, cfg).toJson();
+    EXPECT_EQ(golden, fast);
+}
+
 // ---------------------------------------------------------------------
 // Report and replay artifacts.
 // ---------------------------------------------------------------------
@@ -287,7 +306,7 @@ TEST(Report, CarriesSchemaVersionAndVerdictTaxonomy)
     CampaignConfig cfg;
     cfg.fractions = {0.5};
     const std::string j = runCampaign(w, cfg).toJson();
-    EXPECT_NE(j.find("\"schema\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"schema\":3"), std::string::npos);
     EXPECT_NE(j.find("\"workload\":\"gates\""), std::string::npos);
     EXPECT_NE(j.find("\"verdicts\":{\"match\":"), std::string::npos);
     EXPECT_NE(j.find("\"stat_registry\":"), std::string::npos);

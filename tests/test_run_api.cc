@@ -1,20 +1,15 @@
 /**
  * @file
- * Tests for the unified RunRequest/RunResult API: every legacy
- * Accelerator entry point must return stats identical to its
- * execute() equivalent, and RunResult must serialize to JSON with
- * the documented keys.
+ * Tests for the unified RunRequest/RunResult API: structured
+ * validation of malformed requests (typed RunError instead of a
+ * mid-run assert), metadata echo, and JSON serialization with the
+ * documented keys.  The legacy shim-equivalence tests left with the
+ * shims themselves (docs/EXPERIMENTS_API.md, "Legacy entry points").
  */
 
 #include <gtest/gtest.h>
 
 #include "core/accelerator.hh"
-
-// This file deliberately calls the deprecated shims: the equivalence
-// tests below are what keeps them honest until their removal
-// (docs/EXPERIMENTS_API.md, "Legacy entry points").
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace mouse
 {
@@ -44,83 +39,41 @@ adderProgram(const Accelerator &acc)
     return kb.finish();
 }
 
-void
-expectSameStats(const RunStats &a, const RunStats &b)
-{
-    EXPECT_EQ(a.instructionsCommitted, b.instructionsCommitted);
-    EXPECT_EQ(a.instructionsDead, b.instructionsDead);
-    EXPECT_EQ(a.outages, b.outages);
-    EXPECT_EQ(a.activeTime, b.activeTime);
-    EXPECT_EQ(a.deadTime, b.deadTime);
-    EXPECT_EQ(a.restoreTime, b.restoreTime);
-    EXPECT_EQ(a.chargingTime, b.chargingTime);
-    EXPECT_EQ(a.computeEnergy, b.computeEnergy);
-    EXPECT_EQ(a.backupEnergy, b.backupEnergy);
-    EXPECT_EQ(a.deadEnergy, b.deadEnergy);
-    EXPECT_EQ(a.restoreEnergy, b.restoreEnergy);
-    EXPECT_EQ(a.idleEnergy, b.idleEnergy);
-}
-
-TEST(RunApi, ExecuteMatchesRunContinuous)
-{
-    Accelerator legacy(smallConfig());
-    const Program prog = adderProgram(legacy);
-    legacy.loadProgram(prog);
-    const RunStats want = legacy.runContinuous();
-
-    Accelerator unified(smallConfig());
-    unified.loadProgram(prog);
-    RunRequest req;
-    req.fidelity = Fidelity::Functional;
-    req.power = PowerMode::Continuous;
-    const RunResult got = unified.execute(req);
-    expectSameStats(want, got.stats);
-    EXPECT_GE(got.wallSeconds, 0.0);
-    EXPECT_FALSE(got.meta.tech.empty());
-}
-
-TEST(RunApi, ExecuteMatchesRunHarvested)
-{
-    HarvestConfig harvest;
-    harvest.sourcePower = 2e-6;
-    harvest.seed = 99;
-
-    Accelerator legacy(smallConfig());
-    const Program prog = adderProgram(legacy);
-    legacy.loadProgram(prog);
-    const RunStats want = legacy.runHarvested(harvest);
-
-    Accelerator unified(smallConfig());
-    unified.loadProgram(prog);
-    RunRequest req;
-    req.fidelity = Fidelity::Functional;
-    req.power = PowerMode::Harvested;
-    req.harvest = harvest;
-    const RunResult got = unified.execute(req);
-    expectSameStats(want, got.stats);
-    EXPECT_EQ(got.meta.seed, 99u);
-    EXPECT_EQ(got.meta.sourcePower, 2e-6);
-}
-
-TEST(RunApi, ExecuteMatchesSimulateContinuousAndHarvested)
+TEST(RunApi, ExecuteRunsFunctionalAndTrace)
 {
     Accelerator acc(smallConfig());
     const Program prog = adderProgram(acc);
-    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+    acc.loadProgram(prog);
 
-    const RunStats want_cont = acc.simulateContinuous(trace);
     RunRequest req;
-    req.fidelity = Fidelity::Trace;
+    req.fidelity = Fidelity::Functional;
     req.power = PowerMode::Continuous;
-    req.trace = &trace;
-    expectSameStats(want_cont, acc.execute(req).stats);
+    const RunResult func = acc.execute(req);
+    EXPECT_TRUE(func.ok());
+    EXPECT_GT(func.stats.instructionsCommitted, 0u);
+    EXPECT_GE(func.wallSeconds, 0.0);
+    EXPECT_FALSE(func.meta.tech.empty());
 
-    HarvestConfig harvest;
-    harvest.sourcePower = 1e-3;
-    const RunStats want_harv = acc.simulateHarvested(trace, harvest);
+    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+    req.fidelity = Fidelity::Trace;
+    req.trace = &trace;
+    const RunResult traced = acc.execute(req);
+    EXPECT_TRUE(traced.ok());
+    EXPECT_GT(traced.stats.computeEnergy, 0.0);
+}
+
+TEST(RunApi, HarvestedMetaEcho)
+{
+    Accelerator acc(smallConfig());
+    acc.loadProgram(adderProgram(acc));
+    RunRequest req;
     req.power = PowerMode::Harvested;
-    req.harvest = harvest;
-    expectSameStats(want_harv, acc.execute(req).stats);
+    req.harvest.sourcePower = 2e-6;
+    req.harvest.seed = 99;
+    const RunResult got = acc.execute(req);
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(got.meta.seed, 99u);
+    EXPECT_EQ(got.meta.sourcePower, 2e-6);
 }
 
 TEST(RunApi, LabelIsEchoedIntoMeta)
@@ -154,20 +107,116 @@ TEST(RunApi, JsonCarriesStatsAndMeta)
               std::string::npos);
     // Quotes in labels must be escaped.
     EXPECT_NE(j.find("json \\\"probe\\\""), std::string::npos);
+    // Valid runs carry no error field.
+    EXPECT_EQ(j.find("\"error\":"), std::string::npos);
     EXPECT_EQ(j.front(), '{');
     EXPECT_EQ(j.back(), '}');
 }
 
-TEST(RunApi, TraceFidelityWithoutTraceDies)
+// -- Structured validation: each invalid combination is rejected ----
+// with a typed error instead of a mid-run assert, stats stay zero,
+// and nothing is simulated.
+
+void
+expectRejected(Accelerator &acc, const RunRequest &req, RunError want)
+{
+    const RunResult res = acc.execute(req);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.error, want);
+    EXPECT_EQ(res.stats.instructionsCommitted, 0u);
+    EXPECT_EQ(res.stats.totalEnergy(), 0.0);
+    // Metadata still identifies the rejecting configuration.
+    EXPECT_FALSE(res.meta.tech.empty());
+    // The JSON carries the machine-readable error name.
+    const std::string j = res.toJson();
+    EXPECT_NE(j.find(std::string("\"error\":\"") +
+                     runErrorName(want) + "\""),
+              std::string::npos);
+}
+
+TEST(RunApi, TraceFidelityWithoutTraceIsRejected)
 {
     Accelerator acc(smallConfig());
     RunRequest req;
     req.fidelity = Fidelity::Trace;
-    EXPECT_EXIT(acc.execute(req), testing::ExitedWithCode(1),
-                "needs a trace");
+    EXPECT_EQ(validateRunRequest(req), RunError::kTraceMissing);
+    expectRejected(acc, req, RunError::kTraceMissing);
+}
+
+TEST(RunApi, ScheduledPowerWithoutScheduleIsRejected)
+{
+    Accelerator acc(smallConfig());
+    RunRequest req;
+    req.power = PowerMode::Scheduled;
+    EXPECT_EQ(validateRunRequest(req), RunError::kScheduleMissing);
+    expectRejected(acc, req, RunError::kScheduleMissing);
+}
+
+TEST(RunApi, ScheduleWithNonScheduledPowerIsRejected)
+{
+    Accelerator acc(smallConfig());
+    OutageSchedule schedule;
+    RunRequest req;
+    req.power = PowerMode::Continuous;
+    req.schedule = &schedule;
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kScheduleWithoutScheduledPower);
+    expectRejected(acc, req,
+                   RunError::kScheduleWithoutScheduledPower);
+}
+
+TEST(RunApi, MaxAttemptsWithNonScheduledPowerIsRejected)
+{
+    Accelerator acc(smallConfig());
+    RunRequest req;
+    req.power = PowerMode::Harvested;
+    req.maxAttempts = 32;
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kMaxAttemptsWithoutScheduledPower);
+    expectRejected(acc, req,
+                   RunError::kMaxAttemptsWithoutScheduledPower);
+}
+
+TEST(RunApi, ScheduledTraceFidelityIsRejected)
+{
+    Accelerator acc(smallConfig());
+    const Program prog = adderProgram(acc);
+    const Trace trace = Trace::fromProgram(prog, acc.config().array);
+    OutageSchedule schedule;
+    RunRequest req;
+    req.fidelity = Fidelity::Trace;
+    req.trace = &trace;
+    req.power = PowerMode::Scheduled;
+    req.schedule = &schedule;
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kScheduledTraceFidelity);
+    expectRejected(acc, req, RunError::kScheduledTraceFidelity);
+}
+
+TEST(RunApi, RunErrorNamesAndMessagesAreStable)
+{
+    EXPECT_STREQ(runErrorName(RunError::kNone), "none");
+    EXPECT_STREQ(runErrorName(RunError::kTraceMissing),
+                 "trace_missing");
+    EXPECT_STREQ(runErrorName(RunError::kScheduleMissing),
+                 "schedule_missing");
+    EXPECT_STREQ(
+        runErrorName(RunError::kScheduleWithoutScheduledPower),
+        "schedule_without_scheduled_power");
+    EXPECT_STREQ(
+        runErrorName(RunError::kMaxAttemptsWithoutScheduledPower),
+        "max_attempts_without_scheduled_power");
+    EXPECT_STREQ(runErrorName(RunError::kScheduledTraceFidelity),
+                 "scheduled_trace_fidelity");
+    // Every message spells out the fix.
+    EXPECT_NE(std::string(runErrorMessage(RunError::kTraceMissing))
+                  .find("req.trace"),
+              std::string::npos);
+    EXPECT_NE(
+        std::string(runErrorMessage(RunError::kScheduleMissing))
+            .find("req.schedule"),
+        std::string::npos);
 }
 
 } // namespace
 } // namespace mouse
-
-#pragma GCC diagnostic pop

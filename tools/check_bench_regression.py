@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a fresh google-benchmark JSON report against the committed
+baseline and fails (exit 1) when a watched benchmark's items/sec
+regresses more than the allowed fraction.  Because CI machines differ
+from the machine the baseline was recorded on, the gate also supports
+a machine-independent check: the ratio between two benchmarks from
+the *same* run (e.g. word-parallel vs scalar-oracle gate execution),
+which cancels the host speed out.
+
+Usage:
+  check_bench_regression.py NEW.json BASELINE.json \
+      --bench BM_TileGateExecution/1024 --max-regress 0.20 \
+      --ratio BM_TileGateExecution/1024:BM_TileGateExecutionScalar/1024 \
+      --min-ratio 10
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if "items_per_second" in bench:
+            out[bench["name"]] = bench["items_per_second"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("new", help="fresh benchmark JSON report")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="benchmark name to gate against the baseline"
+                         " (repeatable)")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="allowed fractional items/sec regression"
+                         " versus the baseline (default 0.20)")
+    ap.add_argument("--ratio", action="append", default=[],
+                    help="FAST:SLOW benchmark pair from the new run"
+                         " whose items/sec ratio must stay large"
+                         " (machine-independent; repeatable)")
+    ap.add_argument("--min-ratio", type=float, default=10.0,
+                    help="minimum FAST/SLOW ratio (default 10)")
+    args = ap.parse_args()
+
+    new = load_items_per_second(args.new)
+    base = load_items_per_second(args.baseline)
+    failed = False
+
+    for name in args.bench:
+        if name not in new:
+            print(f"FAIL: {name} missing from {args.new}")
+            failed = True
+            continue
+        if name not in base:
+            print(f"FAIL: {name} missing from baseline"
+                  f" {args.baseline}")
+            failed = True
+            continue
+        floor = base[name] * (1.0 - args.max_regress)
+        verdict = "ok" if new[name] >= floor else "FAIL"
+        print(f"{verdict}: {name} {new[name]:.3e} items/s"
+              f" (baseline {base[name]:.3e},"
+              f" floor {floor:.3e})")
+        failed |= new[name] < floor
+
+    for pair in args.ratio:
+        fast_name, slow_name = pair.split(":", 1)
+        if fast_name not in new or slow_name not in new:
+            print(f"FAIL: ratio pair {pair} missing from {args.new}")
+            failed = True
+            continue
+        ratio = new[fast_name] / new[slow_name]
+        verdict = "ok" if ratio >= args.min_ratio else "FAIL"
+        print(f"{verdict}: {fast_name} / {slow_name} ="
+              f" {ratio:.1f}x (min {args.min_ratio:g}x)")
+        failed |= ratio < args.min_ratio
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -523,6 +523,22 @@ cmdInfo(const Options &opts)
     return 0;
 }
 
+/** Map a rejected RunRequest onto exit 2 with a usage hint.  The
+ *  engine carries the typed RunError in the result instead of dying
+ *  mid-run; the CLI is where it becomes a user-facing message. */
+bool
+checkRunOk(const RunResult &r)
+{
+    if (r.ok()) {
+        return true;
+    }
+    std::fprintf(stderr, "mouse_cli: invalid run request: %s\n",
+                 runErrorMessage(r.error));
+    std::fprintf(stderr,
+                 "run 'mouse_cli' without arguments for usage\n");
+    return false;
+}
+
 /** One-point grid for `bench`: reuses the runner end to end. */
 int
 cmdBench(const exp::Benchmark &b, const Options &opts)
@@ -540,6 +556,9 @@ cmdBench(const exp::Benchmark &b, const Options &opts)
     exp::ExperimentRunner runner(1);
     const exp::SweepResult res = runner.run(grid);
     const RunResult &r = res.points.front();
+    if (!checkRunOk(r)) {
+        return 2;
+    }
     out.writeTelemetry(res);
     out.json.write(r.toJson() + "\n");
     if (opts.json) {
@@ -587,6 +606,11 @@ cmdSweep(const exp::Benchmark &b, const Options &opts)
         });
     }
     const exp::SweepResult res = runner.run(grid);
+    for (const RunResult &r : res.points) {
+        if (!checkRunOk(r)) {
+            return 2;
+        }
+    }
     out.writeTelemetry(res);
     out.json.write(res.toJson() + "\n");
     if (opts.json) {
