@@ -67,6 +67,27 @@ Tile::setBit(RowAddr row, ColAddr col, Bit value)
     }
 }
 
+void
+Tile::setColumnBits(RowAddr base, unsigned stride, ColAddr col,
+                    const std::vector<Bit> &bits)
+{
+    for (std::size_t j = 0; j < bits.size(); ++j) {
+        setBit(base + static_cast<RowAddr>(j * stride), col,
+               bits[j]);
+    }
+}
+
+std::uint64_t
+Tile::columnWord(const std::vector<RowAddr> &rows, ColAddr col) const
+{
+    mouse_assert(rows.size() <= 64, "columnWord wider than 64 bits");
+    std::uint64_t w = 0;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+        w |= static_cast<std::uint64_t>(bit(rows[j], col)) << j;
+    }
+    return w;
+}
+
 std::uint64_t
 Tile::activeWord(const ColumnSet &active, unsigned w) const
 {

@@ -196,6 +196,27 @@ class Tile
                     const std::vector<Bit> &data,
                     double cycle_fraction = 1.0);
 
+    // -- Column packing (host-side deployment/readback) -------------
+    //
+    // The serving layer packs one independent inference per column
+    // slot (docs/SERVING.md); these are its entry points.  Like
+    // setBit()/bit() they model the pre-deployment host interface,
+    // not priced array instructions.
+
+    /**
+     * Write @p bits down one column: bit j lands at row
+     * base + j*stride, column @p col.
+     */
+    void setColumnBits(RowAddr base, unsigned stride, ColAddr col,
+                       const std::vector<Bit> &bits);
+
+    /**
+     * Gather the bits of one column at the given rows into a word
+     * (rows[j] supplies bit j).  @pre rows.size() <= 64.
+     */
+    std::uint64_t columnWord(const std::vector<RowAddr> &rows,
+                             ColAddr col) const;
+
     /** Snapshot all bits (row-major) for equality checks in tests. */
     std::vector<Bit> snapshot() const;
 

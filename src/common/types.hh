@@ -12,7 +12,9 @@
 #ifndef MOUSE_COMMON_TYPES_HH
 #define MOUSE_COMMON_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 namespace mouse
 {
@@ -55,6 +57,69 @@ using TileAddr = std::uint16_t;
 
 /** A single stored bit; MTJ state maps P->0, AP->1. */
 using Bit = std::uint8_t;
+
+/**
+ * Explicit non-owning observer of an object the caller keeps alive.
+ *
+ * Replaces documented-but-fragile raw pointers in request structs
+ * (RunRequest historically carried `const Trace *trace` with a
+ * "must outlive the call" comment).  The type states the contract in
+ * the signature: construction is explicit — from a reference via
+ * observe(), never implicitly from a pointer — so a reader can grep
+ * every place a lifetime dependency is created, and a default-
+ * constructed observer is unambiguously "not provided".
+ *
+ * It remains non-owning: the referent must outlive every use of the
+ * observer (for Accelerator::submit(), until the request's result
+ * has been produced).  See docs/EXPERIMENTS_API.md.
+ */
+template <typename T>
+class ObserverPtr
+{
+  public:
+    constexpr ObserverPtr() = default;
+    constexpr ObserverPtr(std::nullptr_t) {}
+    explicit constexpr ObserverPtr(T &ref) : ptr_(&ref) {}
+
+    /** Qualification conversion (ObserverPtr<T> -> <const T>). */
+    template <typename U,
+              typename = std::enable_if_t<
+                  std::is_convertible_v<U *, T *>>>
+    constexpr ObserverPtr(ObserverPtr<U> other) : ptr_(other.get())
+    {
+    }
+
+    constexpr T *get() const { return ptr_; }
+    constexpr T &operator*() const { return *ptr_; }
+    constexpr T *operator->() const { return ptr_; }
+    explicit constexpr operator bool() const
+    {
+        return ptr_ != nullptr;
+    }
+
+    friend constexpr bool
+    operator==(ObserverPtr a, ObserverPtr b)
+    {
+        return a.ptr_ == b.ptr_;
+    }
+    friend constexpr bool
+    operator!=(ObserverPtr a, ObserverPtr b)
+    {
+        return a.ptr_ != b.ptr_;
+    }
+
+  private:
+    T *ptr_ = nullptr;
+};
+
+/** The one way to create an ObserverPtr: observe(x) reads as "x is
+ *  borrowed here; keep it alive". */
+template <typename T>
+constexpr ObserverPtr<T>
+observe(T &ref)
+{
+    return ObserverPtr<T>(ref);
+}
 
 namespace units
 {

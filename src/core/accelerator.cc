@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/logging.hh"
+
 namespace mouse
 {
 
@@ -87,6 +89,69 @@ Accelerator::execute(const RunRequest &req)
         res.meta.checkpointPeriod = req.harvest.checkpointPeriod;
     }
     return res;
+}
+
+RequestHandle
+Accelerator::submit(RunRequest req)
+{
+    PendingRun run;
+    run.id = nextHandle_++;
+    run.req = std::move(req);
+    run.queueDepth = static_cast<unsigned>(pending_.size());
+    run.submitted = std::chrono::steady_clock::now();
+    pending_.push_back(std::move(run));
+    return RequestHandle{pending_.back().id};
+}
+
+void
+Accelerator::runOnePending()
+{
+    PendingRun run = std::move(pending_.front());
+    pending_.pop_front();
+    const double queued =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - run.submitted)
+            .count();
+    RunResult res = execute(run.req);
+    res.serve.present = true;
+    res.serve.requestId = run.id;
+    res.serve.queueDepth = run.queueDepth;
+    res.serve.queueSeconds = queued;
+    completed_.emplace(run.id, std::move(res));
+}
+
+std::optional<RunResult>
+Accelerator::poll(RequestHandle h)
+{
+    if (auto it = completed_.find(h.id); it != completed_.end()) {
+        RunResult res = std::move(it->second);
+        completed_.erase(it);
+        return res;
+    }
+    if (pending_.empty()) {
+        return std::nullopt;
+    }
+    runOnePending();
+    if (auto it = completed_.find(h.id); it != completed_.end()) {
+        RunResult res = std::move(it->second);
+        completed_.erase(it);
+        return res;
+    }
+    return std::nullopt;
+}
+
+RunResult
+Accelerator::wait(RequestHandle h)
+{
+    for (;;) {
+        if (auto res = poll(h)) {
+            return std::move(*res);
+        }
+        mouse_assert(!pending_.empty() ||
+                         completed_.count(h.id) != 0,
+                     "wait() on an unknown or already-redeemed "
+                     "request handle");
+    }
 }
 
 } // namespace mouse

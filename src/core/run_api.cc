@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/logging.hh"
+
 namespace mouse
 {
 
@@ -55,10 +57,11 @@ runErrorMessage(RunError e)
       case RunError::kNone:
         return "ok";
       case RunError::kTraceMissing:
-        return "Trace fidelity needs a trace: set req.trace";
+        return "Trace fidelity needs a trace: set req.trace = "
+               "observe(trace)";
       case RunError::kScheduleMissing:
         return "Scheduled power needs an outage script: set "
-               "req.schedule";
+               "req.schedule = observe(schedule)";
       case RunError::kScheduleWithoutScheduledPower:
         return "req.schedule is only read under Scheduled power: "
                "set req.power = PowerMode::Scheduled or drop the "
@@ -77,22 +80,93 @@ RunError
 validateRunRequest(const RunRequest &req)
 {
     const bool scheduled = req.power == PowerMode::Scheduled;
-    if (req.fidelity == Fidelity::Trace && req.trace == nullptr) {
+    if (req.fidelity == Fidelity::Trace && !req.trace) {
         return RunError::kTraceMissing;
     }
     if (scheduled && req.fidelity != Fidelity::Functional) {
         return RunError::kScheduledTraceFidelity;
     }
-    if (scheduled && req.schedule == nullptr) {
+    if (scheduled && !req.schedule) {
         return RunError::kScheduleMissing;
     }
-    if (!scheduled && req.schedule != nullptr) {
+    if (!scheduled && req.schedule) {
         return RunError::kScheduleWithoutScheduledPower;
     }
     if (!scheduled && req.maxAttempts != 0) {
         return RunError::kMaxAttemptsWithoutScheduledPower;
     }
     return RunError::kNone;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::functional()
+{
+    req_.fidelity = Fidelity::Functional;
+    req_.trace = nullptr;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::trace(const Trace &t)
+{
+    req_.fidelity = Fidelity::Trace;
+    req_.trace = observe(t);
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::continuous()
+{
+    req_.power = PowerMode::Continuous;
+    req_.schedule = nullptr;
+    req_.maxAttempts = 0;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::harvested(const HarvestConfig &h)
+{
+    req_.power = PowerMode::Harvested;
+    req_.harvest = h;
+    req_.schedule = nullptr;
+    req_.maxAttempts = 0;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::scheduled(const OutageSchedule &s,
+                             std::uint64_t max_attempts)
+{
+    req_.power = PowerMode::Scheduled;
+    req_.fidelity = Fidelity::Functional;
+    req_.trace = nullptr;
+    req_.schedule = observe(s);
+    req_.maxAttempts = max_attempts;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::label(std::string l)
+{
+    req_.label = std::move(l);
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::telemetry(const obs::TraceConfig &cfg)
+{
+    req_.telemetry = cfg;
+    return *this;
+}
+
+RunRequest
+RunRequestBuilder::build() const
+{
+    // The setters make invalid combinations unrepresentable; this
+    // assert is the safety net that keeps it that way.
+    mouse_assert(validateRunRequest(req_) == RunError::kNone,
+                 "RunRequestBuilder produced an invalid request");
+    return req_;
 }
 
 std::string
@@ -172,6 +246,19 @@ RunResult::toJson() const
     j += ",\"label\":\"" + jsonEscape(meta.label) + "\"";
     j += "},";
     j += "\"wall_seconds\":" + num(wallSeconds);
+    if (serve.present) {
+        j += ",\"serve\":{";
+        j += "\"request_id\":" + num(serve.requestId);
+        j += ",\"batch_id\":" + num(serve.batchId);
+        j += ",\"batch_size\":" +
+             num(static_cast<std::uint64_t>(serve.batchSize));
+        j += ",\"slot\":" +
+             num(static_cast<std::uint64_t>(serve.slot));
+        j += ",\"queue_depth\":" +
+             num(static_cast<std::uint64_t>(serve.queueDepth));
+        j += ",\"queue_seconds\":" + num(serve.queueSeconds);
+        j += "}";
+    }
     j += ",\"stats\":" + mouse::toJson(stats);
     if (statsTree && !statsTree->empty()) {
         j += ",\"stat_registry\":" + statsTree->toJson();

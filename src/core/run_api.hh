@@ -63,18 +63,21 @@ struct RunRequest
     HarvestConfig harvest{};
     /**
      * Outage script; required for Scheduled power, ignored
-     * otherwise.  Non-owning: must outlive the execute() call.
+     * otherwise.  An explicit observer (common/types.hh): create it
+     * with observe(schedule), and keep the schedule alive until the
+     * run's result exists (for submit(), until poll()/wait()
+     * returns it).
      */
-    const OutageSchedule *schedule = nullptr;
+    ObserverPtr<const OutageSchedule> schedule;
     /** Attempt guard for Scheduled runs (0 = unlimited): a run that
      *  has not halted after this many attempts stops early. */
     std::uint64_t maxAttempts = 0;
     /**
      * Trace to simulate; required for Trace fidelity, ignored for
-     * Functional (which runs the loaded program).  Non-owning: the
-     * trace must outlive the execute() call.
+     * Functional (which runs the loaded program).  An explicit
+     * observer with the same lifetime contract as `schedule`.
      */
-    const Trace *trace = nullptr;
+    ObserverPtr<const Trace> trace;
     /** Free-form tag echoed into the result's metadata. */
     std::string label;
     /**
@@ -94,9 +97,9 @@ struct RunRequest
 enum class RunError
 {
     kNone = 0,
-    /** Trace fidelity but req.trace == nullptr. */
+    /** Trace fidelity but no req.trace observer set. */
     kTraceMissing,
-    /** Scheduled power but req.schedule == nullptr. */
+    /** Scheduled power but no req.schedule observer set. */
     kScheduleMissing,
     /** req.schedule set but power is not Scheduled. */
     kScheduleWithoutScheduledPower,
@@ -116,6 +119,51 @@ const char *runErrorMessage(RunError e);
 /** Check @p req for the invalid combinations above; kNone if OK. */
 RunError validateRunRequest(const RunRequest &req);
 
+/**
+ * Step-by-step RunRequest construction that cannot produce a
+ * half-initialized request.
+ *
+ * Every mode is set by one call that provides everything the mode
+ * needs — trace() installs the trace *and* flips the fidelity,
+ * scheduled() installs the schedule, the power mode and the attempt
+ * guard together — and switching modes clears the fields the new
+ * mode does not read.  build() therefore always returns a request
+ * that passes validateRunRequest(); serve-path code constructs its
+ * requests exclusively through this builder.
+ */
+class RunRequestBuilder
+{
+  public:
+    /** Functional fidelity (the default); drops any trace. */
+    RunRequestBuilder &functional();
+
+    /** Trace fidelity over @p t (borrowed; see ObserverPtr). */
+    RunRequestBuilder &trace(const Trace &t);
+
+    /** Continuous power (the default); drops schedule/attempts. */
+    RunRequestBuilder &continuous();
+
+    /** Harvested power under @p h; drops schedule/attempts. */
+    RunRequestBuilder &harvested(const HarvestConfig &h);
+
+    /**
+     * Scripted outages from @p s (borrowed) with an optional attempt
+     * guard; implies Functional fidelity requirements checked by
+     * build().
+     */
+    RunRequestBuilder &scheduled(const OutageSchedule &s,
+                                 std::uint64_t max_attempts = 0);
+
+    RunRequestBuilder &label(std::string l);
+    RunRequestBuilder &telemetry(const obs::TraceConfig &cfg);
+
+    /** The finished request; guaranteed validateRunRequest-clean. */
+    RunRequest build() const;
+
+  private:
+    RunRequest req_;
+};
+
 /** Identity of the sweep-grid point a result belongs to. */
 struct PointMeta
 {
@@ -133,6 +181,31 @@ struct PointMeta
     std::string label;
 };
 
+/**
+ * Queue/batch provenance of a run that went through the asynchronous
+ * path — Accelerator::submit() or the src/serve batching layer.
+ * Absent (present == false, no JSON emitted) for plain execute()
+ * calls, so schema-3 consumers that never submit see unchanged
+ * documents.
+ */
+struct ServeMeta
+{
+    /** True once the async path filled this block. */
+    bool present = false;
+    /** Handle / service-assigned id of the request. */
+    std::uint64_t requestId = 0;
+    /** Batch the request was packed into (0-based, per service). */
+    std::uint64_t batchId = 0;
+    /** Requests packed into the same word-parallel pass. */
+    unsigned batchSize = 1;
+    /** Column slot the request occupied within the pass. */
+    unsigned slot = 0;
+    /** Requests already queued when this one was admitted. */
+    unsigned queueDepth = 0;
+    /** Host seconds between admission and the start of its run. */
+    double queueSeconds = 0.0;
+};
+
 /** Outcome of one run: simulation stats plus provenance. */
 struct RunResult
 {
@@ -143,6 +216,8 @@ struct RunResult
     /** Host wall-clock time spent simulating, in seconds. */
     double wallSeconds = 0.0;
     PointMeta meta;
+    /** Batch/queue provenance; only filled by the async path. */
+    ServeMeta serve;
 
     bool ok() const { return error == RunError::kNone; }
     /** Hierarchical stats tree; null unless telemetry.stats. */
@@ -158,9 +233,11 @@ struct RunResult
 };
 
 /** Version of every JSON document this API emits (RunResult,
- *  SweepResult, and the injection reports of src/inject).
- *  Schema 3 added the "error" field rejected requests carry. */
-constexpr int kResultSchemaVersion = 3;
+ *  SweepResult, the injection reports of src/inject, and the serve
+ *  reports of src/serve).  Schema 3 added the "error" field rejected
+ *  requests carry; schema 4 added the optional "serve" batch/queue
+ *  block and the serve-report document (docs/SERVING.md). */
+constexpr int kResultSchemaVersion = 4;
 
 /** JSON object for a RunStats (used by RunResult::toJson). */
 std::string toJson(const RunStats &stats);

@@ -128,11 +128,9 @@ runSchedule(const CampaignWorkload &w,
     o.schedule = schedule;
 
     auto acc = freshRun(w);
-    RunRequest req;
-    req.fidelity = Fidelity::Functional;
-    req.power = PowerMode::Scheduled;
-    req.schedule = &schedule;
-    req.maxAttempts = attemptGuard;
+    const RunRequest req = RunRequestBuilder()
+                               .scheduled(schedule, attemptGuard)
+                               .build();
     const RunResult res = acc->execute(req);
     mouse_assert(res.ok(), "campaign built an invalid RunRequest");
     o.committed = res.stats.instructionsCommitted;

@@ -1,0 +1,64 @@
+#include "demo.hh"
+
+namespace mouse::serve
+{
+
+BnnServeModel
+demoBnn(std::uint64_t seed)
+{
+    constexpr unsigned kInputs = 16;
+    constexpr unsigned kClasses = 4;
+    Rng rng(seed);
+    BnnServeModel m;
+    m.name = "demo-bnn";
+    m.layer.inputs = kInputs;
+    m.layer.outputs = kClasses;
+    m.layer.weights.assign(kClasses, std::vector<Bit>(kInputs));
+    m.layer.thresholds.resize(kClasses);
+    for (unsigned c = 0; c < kClasses; ++c) {
+        for (unsigned i = 0; i < kInputs; ++i) {
+            m.layer.weights[c][i] = static_cast<Bit>(rng.below(2));
+        }
+        m.layer.thresholds[c] =
+            static_cast<std::int32_t>(rng.below(kInputs + 1));
+    }
+    return m;
+}
+
+SvmServeModel
+demoSvm(std::uint64_t seed)
+{
+    constexpr unsigned kSvs = 8;
+    constexpr unsigned kDim = 8;
+    Rng rng(seed);
+    SvmServeModel m;
+    m.name = "demo-svm";
+    m.dim = kDim;
+    m.inputBits = 4;
+    m.accBits = 12;
+    m.svm.supportVectors.assign(kSvs, Features(kDim));
+    m.svm.coefficients.resize(kSvs);
+    for (unsigned s = 0; s < kSvs; ++s) {
+        for (unsigned e = 0; e < kDim; ++e) {
+            m.svm.supportVectors[s][e] =
+                static_cast<std::uint8_t>(rng.below(16));
+        }
+        m.svm.coefficients[s] =
+            static_cast<std::int32_t>(rng.below(9)) - 4;
+    }
+    m.svm.bias = static_cast<std::int64_t>(rng.below(64)) - 32;
+    return m;
+}
+
+Input
+randomInput(Rng &rng, const PackedModel &m)
+{
+    Input in(m.inputSize());
+    for (auto &v : in) {
+        v = static_cast<std::uint8_t>(
+            rng.below(1ull << m.elementBits()));
+    }
+    return in;
+}
+
+} // namespace mouse::serve

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Deterministic demo models and load for the serving driver
+ * (`mouse_cli serve`), bench_serve_saturation, and the CI smoke
+ * test.  Everything derives from an explicit seed so two invocations
+ * with the same seed serve byte-identical workloads.
+ *
+ * Shapes are picked so a 1024-column engine packs hundreds of
+ * requests per gate pass: the BNN spans 4 columns per request (4
+ * classes), the SVM 8 (8 support vectors).
+ */
+
+#ifndef MOUSE_SERVE_DEMO_HH
+#define MOUSE_SERVE_DEMO_HH
+
+#include "common/rng.hh"
+#include "serve/models.hh"
+
+namespace mouse::serve
+{
+
+/** 4-class, 16-input BNN with random weights/thresholds. */
+BnnServeModel demoBnn(std::uint64_t seed);
+
+/** Binary SVM: 8 support vectors of 8 4-bit elements. */
+SvmServeModel demoSvm(std::uint64_t seed);
+
+/** A random payload valid for @p m (respects element width). */
+Input randomInput(Rng &rng, const PackedModel &m);
+
+} // namespace mouse::serve
+
+#endif // MOUSE_SERVE_DEMO_HH

@@ -1,0 +1,371 @@
+#include "service.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace mouse::serve
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Exact percentile over a copy (nearest-rank interpolation). */
+double
+percentileOf(std::vector<double> v, double q)
+{
+    if (v.empty()) {
+        return 0.0;
+    }
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+} // namespace
+
+InferenceService::InferenceService(const ServiceConfig &cfg)
+    : cfg_(cfg),
+      lib_(makeDeviceConfig(cfg.engine.tech), cfg.engine.gateMargin)
+{
+    mouse_assert(cfg_.workers >= 1, "service needs >= 1 worker");
+}
+
+InferenceService::~InferenceService() = default;
+
+ModelId
+InferenceService::addModel(const BnnServeModel &m)
+{
+    const ModelId id = static_cast<ModelId>(models_.size());
+    models_.push_back(
+        PackedModel::compileBnn(lib_, cfg_.engine.array, id, m));
+    open_.emplace_back();
+    return id;
+}
+
+ModelId
+InferenceService::addModel(const SvmServeModel &m)
+{
+    const ModelId id = static_cast<ModelId>(models_.size());
+    models_.push_back(
+        PackedModel::compileSvm(lib_, cfg_.engine.array, id, m));
+    open_.emplace_back();
+    return id;
+}
+
+const PackedModel &
+InferenceService::model(ModelId id) const
+{
+    mouse_assert(id < models_.size(), "unknown model id");
+    return models_[id];
+}
+
+unsigned
+InferenceService::batchCapacity(const PackedModel &m) const
+{
+    return cfg_.maxBatch > 0 ? std::min(cfg_.maxBatch, m.slots())
+                             : m.slots();
+}
+
+RequestId
+InferenceService::submit(ModelId model, Input in)
+{
+    mouse_assert(model < models_.size(), "unknown model id");
+    const PackedModel &m = models_[model];
+    mouse_assert(m.validInput(in),
+                 "request payload rejected at admission");
+    PendingReq req;
+    req.id = nextRequest_++;
+    req.in = std::move(in);
+    req.submitted = std::chrono::steady_clock::now();
+    results_.emplace_back();
+    open_[model].push_back(std::move(req));
+    if (open_[model].size() >= batchCapacity(m)) {
+        cutBatch(model);
+    }
+    return nextRequest_ - 1;
+}
+
+void
+InferenceService::cutBatch(ModelId model)
+{
+    if (open_[model].empty()) {
+        return;
+    }
+    Batch b;
+    b.id = static_cast<std::uint64_t>(ready_.size());
+    b.model = model;
+    b.reqs = std::move(open_[model]);
+    open_[model].clear();
+    ready_.push_back(std::move(b));
+    records_.emplace_back();
+}
+
+void
+InferenceService::flush()
+{
+    // Partial batches cut in model-id order: deterministic given
+    // the submission sequence.
+    for (ModelId m = 0; m < models_.size(); ++m) {
+        cutBatch(m);
+    }
+}
+
+std::size_t
+InferenceService::pendingRequests() const
+{
+    std::size_t n = 0;
+    for (const auto &q : open_) {
+        n += q.size();
+    }
+    for (std::size_t i = runCursor_; i < ready_.size(); ++i) {
+        n += ready_[i].reqs.size();
+    }
+    return n;
+}
+
+void
+InferenceService::runBatch(Engine &eng, const Batch &batch)
+{
+    const PackedModel &m = models_[batch.model];
+    if (eng.loaded != static_cast<std::int64_t>(batch.model)) {
+        eng.acc.loadProgram(m.program());
+        m.deployWeights(eng.acc.grid());
+        eng.loaded = static_cast<std::int64_t>(batch.model);
+    } else {
+        // Same deployed program: just rewind the PC protocol.
+        eng.acc.controller().reset();
+    }
+    const unsigned size = static_cast<unsigned>(batch.reqs.size());
+    for (unsigned s = 0; s < size; ++s) {
+        m.packInput(eng.acc.grid(), s, batch.reqs[s].in);
+    }
+    for (unsigned s = size; s < m.slots(); ++s) {
+        m.clearInput(eng.acc.grid(), s);
+    }
+
+    const RequestHandle h = eng.acc.submit(
+        RunRequestBuilder().label(m.name()).build());
+    RunResult res = eng.acc.wait(h);
+    mouse_assert(res.ok(), "serve batch run rejected");
+
+    BatchRecord rec;
+    rec.model = batch.model;
+    rec.size = size;
+    rec.slots = m.slots();
+    rec.simSeconds = res.stats.totalTime();
+    rec.energy = res.stats.totalEnergy();
+    records_[batch.id] = rec;
+
+    const auto now = std::chrono::steady_clock::now();
+    for (unsigned s = 0; s < size; ++s) {
+        const PendingReq &req = batch.reqs[s];
+        ClassifyResult r;
+        r.id = req.id;
+        r.model = batch.model;
+        r.predicted = m.readPrediction(eng.acc.grid(), s);
+        r.batchId = batch.id;
+        r.batchSize = size;
+        r.slot = s;
+        r.simSeconds = rec.simSeconds;
+        r.energy = rec.energy / size;
+        r.hostSeconds =
+            std::chrono::duration<double>(now - req.submitted)
+                .count();
+        results_[req.id] = std::move(r);
+    }
+}
+
+double
+InferenceService::drain()
+{
+    flush();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t first = runCursor_;
+    const std::size_t count = ready_.size() - first;
+    if (count == 0) {
+        return 0.0;
+    }
+    while (engines_.size() < cfg_.workers) {
+        engines_.push_back(std::make_unique<Engine>(cfg_.engine));
+    }
+    const unsigned nThreads = static_cast<unsigned>(
+        std::min<std::size_t>(cfg_.workers, count));
+    // Engines claim batches from a shared cursor; every written cell
+    // (records_[batch.id], results_[req.id]) is distinct per batch,
+    // so the fan-out needs no locks, and determinism is untouched
+    // because identical engines compute identical records for a
+    // batch regardless of which one claims it.
+    std::atomic<std::size_t> next{first};
+    auto work = [&](unsigned engineIdx) {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= ready_.size()) {
+                break;
+            }
+            runBatch(*engines_[engineIdx], ready_[i]);
+        }
+    };
+    if (nThreads == 1) {
+        work(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nThreads);
+        for (unsigned t = 0; t < nThreads; ++t) {
+            pool.emplace_back(work, t);
+        }
+        for (auto &th : pool) {
+            th.join();
+        }
+    }
+    for (std::size_t i = first; i < ready_.size(); ++i) {
+        completedRequests_ += ready_[i].reqs.size();
+    }
+    runCursor_ = ready_.size();
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    drainSeconds_ += secs;
+    return secs;
+}
+
+const ClassifyResult &
+InferenceService::result(RequestId id) const
+{
+    mouse_assert(id < results_.size(), "unknown request id");
+    const ClassifyResult &r = results_[id];
+    mouse_assert(r.batchSize > 0,
+                 "request not completed yet (drain() first)");
+    return r;
+}
+
+std::shared_ptr<obs::StatRegistry>
+InferenceService::stats() const
+{
+    auto reg = std::make_shared<obs::StatRegistry>();
+    obs::Counter &batches = reg->counter(
+        "serve.batches", "gate passes executed");
+    obs::Counter &requests = reg->counter(
+        "serve.requests", "classification requests completed");
+    obs::Counter &idle = reg->counter(
+        "serve.slots_idle", "column slots zero-filled (unused)");
+    obs::Scalar &simTime = reg->scalar(
+        "serve.sim_time_s", obs::MergePolicy::kSum,
+        "simulated array time across passes");
+    obs::Scalar &energy = reg->scalar(
+        "serve.energy_j", obs::MergePolicy::kSum,
+        "array energy across passes");
+    obs::Histogram &batchSize = reg->histogram(
+        "serve.batch_size", "requests packed per pass");
+    obs::Histogram &simLatency = reg->histogram(
+        "serve.request.sim_latency_s",
+        "per-request simulated pass latency");
+    // Fold strictly in batch-id order: the registry is then a pure
+    // function of the submission sequence, whatever worker count
+    // executed the batches.
+    for (std::size_t i = 0; i < runCursor_; ++i) {
+        const BatchRecord &rec = records_[i];
+        batches.increment();
+        requests += rec.size;
+        idle += rec.slots - rec.size;
+        simTime.observe(rec.simSeconds);
+        energy.observe(rec.energy);
+        batchSize.sample(static_cast<double>(rec.size));
+        simLatency.sample(rec.simSeconds, rec.size);
+        reg->counter("serve.model." + models_[rec.model].name() +
+                         ".requests",
+                     "requests served by this model") += rec.size;
+    }
+    reg->formula(
+        "serve.sim_throughput_per_s",
+        [](const obs::StatRegistry &r) {
+            const double t = r.scalarValue("serve.sim_time_s");
+            return t > 0.0 ? r.counterValue("serve.requests") / t
+                           : 0.0;
+        },
+        "classifications per simulated array second");
+    return reg;
+}
+
+std::string
+InferenceService::reportJson() const
+{
+    std::vector<double> host;
+    std::vector<double> sim;
+    host.reserve(completedRequests_);
+    sim.reserve(completedRequests_);
+    double simTime = 0.0;
+    double energy = 0.0;
+    std::uint64_t requests = 0;
+    std::vector<std::uint64_t> perModel(models_.size(), 0);
+    for (std::size_t i = 0; i < runCursor_; ++i) {
+        const BatchRecord &rec = records_[i];
+        requests += rec.size;
+        simTime += rec.simSeconds;
+        energy += rec.energy;
+        perModel[rec.model] += rec.size;
+        for (const PendingReq &req : ready_[i].reqs) {
+            host.push_back(results_[req.id].hostSeconds);
+            sim.push_back(results_[req.id].simSeconds);
+        }
+    }
+    const double throughput =
+        drainSeconds_ > 0.0
+            ? static_cast<double>(requests) / drainSeconds_
+            : 0.0;
+
+    std::string j = "{";
+    j += "\"schema\":" + std::to_string(kResultSchemaVersion);
+    j += ",\"serve_report\":{";
+    j += "\"requests\":" + std::to_string(requests);
+    j += ",\"batches\":" + std::to_string(runCursor_);
+    j += ",\"workers\":" + std::to_string(cfg_.workers);
+    j += ",\"drain_seconds\":" + num(drainSeconds_);
+    j += ",\"throughput_per_s\":" + num(throughput);
+    j += ",\"host_latency_s\":{";
+    j += "\"p50\":" + num(percentileOf(host, 0.50));
+    j += ",\"p99\":" + num(percentileOf(host, 0.99));
+    j += "},\"sim\":{";
+    j += "\"time_s\":" + num(simTime);
+    j += ",\"energy_j\":" + num(energy);
+    j += ",\"latency_s\":{";
+    j += "\"p50\":" + num(percentileOf(sim, 0.50));
+    j += ",\"p99\":" + num(percentileOf(sim, 0.99));
+    j += "}},\"models\":[";
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+        if (m > 0) {
+            j += ",";
+        }
+        j += "{\"name\":\"" + jsonEscape(models_[m].name()) + "\"";
+        j += ",\"slots\":" + std::to_string(models_[m].slots());
+        j += ",\"cols_per_request\":" +
+             std::to_string(models_[m].colsPerRequest());
+        j += ",\"requests\":" + std::to_string(perModel[m]);
+        j += "}";
+    }
+    j += "]}";
+    const auto reg = stats();
+    if (!reg->empty()) {
+        j += ",\"stat_registry\":" + reg->toJson();
+    }
+    j += "}";
+    return j;
+}
+
+} // namespace mouse::serve

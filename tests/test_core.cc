@@ -112,11 +112,11 @@ TEST(Accelerator, TraceModesAgreeOnCycles)
 
     RunRequest contReq;
     contReq.fidelity = Fidelity::Trace;
-    contReq.trace = &trace;
+    contReq.trace = observe(trace);
     const RunStats cont = acc.execute(contReq).stats;
     RunRequest harvReq;
     harvReq.fidelity = Fidelity::Trace;
-    harvReq.trace = &trace;
+    harvReq.trace = observe(trace);
     harvReq.power = PowerMode::Harvested;
     harvReq.harvest.sourcePower = 1e-3;
     const RunStats harv = acc.execute(harvReq).stats;

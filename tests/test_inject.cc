@@ -99,7 +99,7 @@ TEST(ScheduledRun, EmptyScheduleEqualsContinuousRun)
     OutageSchedule empty;
     RunRequest sreq;
     sreq.power = PowerMode::Scheduled;
-    sreq.schedule = &empty;
+    sreq.schedule = observe(empty);
     const RunResult sres = sched->execute(sreq);
     const MachineState sstate = captureState(*sched);
 
@@ -118,7 +118,7 @@ TEST(ScheduledRun, OutageIsCountedAndRunStillCompletes)
     auto acc = freshRun(w);
     RunRequest req;
     req.power = PowerMode::Scheduled;
-    req.schedule = &s;
+    req.schedule = observe(s);
     const RunResult res = acc->execute(req);
     EXPECT_TRUE(acc->controller().halted());
     EXPECT_EQ(res.stats.outages, 1u);
@@ -306,7 +306,7 @@ TEST(Report, CarriesSchemaVersionAndVerdictTaxonomy)
     CampaignConfig cfg;
     cfg.fractions = {0.5};
     const std::string j = runCampaign(w, cfg).toJson();
-    EXPECT_NE(j.find("\"schema\":3"), std::string::npos);
+    EXPECT_NE(j.find("\"schema\":4"), std::string::npos);
     EXPECT_NE(j.find("\"workload\":\"gates\""), std::string::npos);
     EXPECT_NE(j.find("\"verdicts\":{\"match\":"), std::string::npos);
     EXPECT_NE(j.find("\"stat_registry\":"), std::string::npos);

@@ -56,7 +56,7 @@ TEST(RunApi, ExecuteRunsFunctionalAndTrace)
 
     const Trace trace = Trace::fromProgram(prog, acc.config().array);
     req.fidelity = Fidelity::Trace;
-    req.trace = &trace;
+    req.trace = observe(trace);
     const RunResult traced = acc.execute(req);
     EXPECT_TRUE(traced.ok());
     EXPECT_GT(traced.stats.computeEnergy, 0.0);
@@ -83,7 +83,7 @@ TEST(RunApi, LabelIsEchoedIntoMeta)
     const Trace trace = Trace::fromProgram(prog, acc.config().array);
     RunRequest req;
     req.fidelity = Fidelity::Trace;
-    req.trace = &trace;
+    req.trace = observe(trace);
     req.label = "point-7";
     EXPECT_EQ(acc.execute(req).meta.label, "point-7");
 }
@@ -95,7 +95,7 @@ TEST(RunApi, JsonCarriesStatsAndMeta)
     const Trace trace = Trace::fromProgram(prog, acc.config().array);
     RunRequest req;
     req.fidelity = Fidelity::Trace;
-    req.trace = &trace;
+    req.trace = observe(trace);
     req.label = "json \"probe\"";
     const RunResult res = acc.execute(req);
     const std::string j = res.toJson();
@@ -158,7 +158,7 @@ TEST(RunApi, ScheduleWithNonScheduledPowerIsRejected)
     OutageSchedule schedule;
     RunRequest req;
     req.power = PowerMode::Continuous;
-    req.schedule = &schedule;
+    req.schedule = observe(schedule);
     EXPECT_EQ(validateRunRequest(req),
               RunError::kScheduleWithoutScheduledPower);
     expectRejected(acc, req,
@@ -185,9 +185,9 @@ TEST(RunApi, ScheduledTraceFidelityIsRejected)
     OutageSchedule schedule;
     RunRequest req;
     req.fidelity = Fidelity::Trace;
-    req.trace = &trace;
+    req.trace = observe(trace);
     req.power = PowerMode::Scheduled;
-    req.schedule = &schedule;
+    req.schedule = observe(schedule);
     EXPECT_EQ(validateRunRequest(req),
               RunError::kScheduledTraceFidelity);
     expectRejected(acc, req, RunError::kScheduledTraceFidelity);
@@ -216,6 +216,150 @@ TEST(RunApi, RunErrorNamesAndMessagesAreStable)
         std::string(runErrorMessage(RunError::kScheduleMissing))
             .find("req.schedule"),
         std::string::npos);
+}
+
+// -- Observer types and the builder ---------------------------------
+
+TEST(RunApi, ObserverPtrSemantics)
+{
+    const int x = 7;
+    ObserverPtr<const int> p;
+    EXPECT_FALSE(p);
+    p = observe(x);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(*p, 7);
+    EXPECT_EQ(p.get(), &x);
+    EXPECT_TRUE(p == observe(x));
+    p = nullptr;
+    EXPECT_FALSE(p);
+}
+
+TEST(RunApi, BuilderProducesValidRequests)
+{
+    const RunRequest cont = RunRequestBuilder()
+                                .functional()
+                                .continuous()
+                                .label("c")
+                                .build();
+    EXPECT_EQ(validateRunRequest(cont), RunError::kNone);
+    EXPECT_EQ(cont.power, PowerMode::Continuous);
+    EXPECT_EQ(cont.label, "c");
+
+    HarvestConfig h;
+    h.sourcePower = 3e-6;
+    const RunRequest harv =
+        RunRequestBuilder().harvested(h).build();
+    EXPECT_EQ(validateRunRequest(harv), RunError::kNone);
+    EXPECT_EQ(harv.harvest.sourcePower, 3e-6);
+
+    OutageSchedule s;
+    const RunRequest sched =
+        RunRequestBuilder().scheduled(s, 42).build();
+    EXPECT_EQ(validateRunRequest(sched), RunError::kNone);
+    EXPECT_EQ(sched.schedule.get(), &s);
+    EXPECT_EQ(sched.maxAttempts, 42u);
+}
+
+TEST(RunApi, BuilderModeSwitchesClearStaleFields)
+{
+    // scheduled() then continuous(): the schedule and attempt guard
+    // must not leak into the continuous request (which would be
+    // rejected by validation).
+    OutageSchedule s;
+    const RunRequest req = RunRequestBuilder()
+                               .scheduled(s, 9)
+                               .continuous()
+                               .build();
+    EXPECT_EQ(validateRunRequest(req), RunError::kNone);
+    EXPECT_FALSE(req.schedule);
+    EXPECT_EQ(req.maxAttempts, 0u);
+}
+
+// -- Asynchronous submit/poll/wait ----------------------------------
+
+TEST(RunApi, SubmitWaitMatchesExecute)
+{
+    Accelerator sync(smallConfig());
+    const Program prog = adderProgram(sync);
+    sync.loadProgram(prog);
+    const RunResult direct = sync.execute(RunRequest{});
+
+    Accelerator async(smallConfig());
+    async.loadProgram(prog);
+    const RequestHandle h = async.submit(RunRequest{});
+    EXPECT_EQ(async.pendingRequests(), 1u);
+    const RunResult queued = async.wait(h);
+    EXPECT_EQ(async.pendingRequests(), 0u);
+    EXPECT_TRUE(queued.ok());
+    EXPECT_EQ(queued.stats.instructionsCommitted,
+              direct.stats.instructionsCommitted);
+    EXPECT_EQ(queued.stats.totalEnergy(),
+              direct.stats.totalEnergy());
+    // Serve metadata appears only on the async path.
+    EXPECT_FALSE(direct.serve.present);
+    EXPECT_TRUE(queued.serve.present);
+    EXPECT_EQ(queued.serve.requestId, h.id);
+    EXPECT_EQ(queued.serve.queueDepth, 0u);
+    EXPECT_GE(queued.serve.queueSeconds, 0.0);
+}
+
+TEST(RunApi, PollAdvancesQueueInSubmissionOrder)
+{
+    Accelerator acc(smallConfig());
+    acc.loadProgram(adderProgram(acc));
+    const RequestHandle h1 = acc.submit(RunRequest{});
+    const RequestHandle h2 = acc.submit(RunRequest{});
+    EXPECT_NE(h1.id, h2.id);
+    EXPECT_EQ(acc.pendingRequests(), 2u);
+
+    // Polling the *second* request first runs the first request (at
+    // most one run per poll), so the first poll comes back empty.
+    std::optional<RunResult> r2 = acc.poll(h2);
+    EXPECT_FALSE(r2.has_value());
+    EXPECT_EQ(acc.pendingRequests(), 1u);
+    r2 = acc.poll(h2);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->serve.requestId, h2.id);
+    EXPECT_EQ(r2->serve.queueDepth, 1u);
+
+    // The first result was filed and is still redeemable.
+    const std::optional<RunResult> r1 = acc.poll(h1);
+    ASSERT_TRUE(r1.has_value());
+    EXPECT_EQ(r1->serve.requestId, h1.id);
+    // A handle redeems at most once.
+    EXPECT_FALSE(acc.poll(h1).has_value());
+}
+
+TEST(RunApi, SubmittedInvalidRequestCarriesTypedError)
+{
+    Accelerator acc(smallConfig());
+    acc.loadProgram(adderProgram(acc));
+    RunRequest bad;
+    bad.fidelity = Fidelity::Trace;  // no trace attached
+    const RunResult res = acc.wait(acc.submit(bad));
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.error, RunError::kTraceMissing);
+    EXPECT_TRUE(res.serve.present);
+}
+
+TEST(RunApi, ServeJsonBlockIsSchemaV4)
+{
+    Accelerator acc(smallConfig());
+    acc.loadProgram(adderProgram(acc));
+    const RunResult direct = acc.execute(RunRequest{});
+    // Schema 4 everywhere; the serve block only on async results.
+    EXPECT_NE(direct.toJson().find("\"schema\":4"),
+              std::string::npos);
+    EXPECT_EQ(direct.toJson().find("\"serve\":"),
+              std::string::npos);
+
+    const RunResult queued = acc.wait(acc.submit(RunRequest{}));
+    const std::string j = queued.toJson();
+    EXPECT_NE(j.find("\"serve\":{"), std::string::npos);
+    EXPECT_NE(j.find("\"request_id\":"), std::string::npos);
+    EXPECT_NE(j.find("\"batch_size\":"), std::string::npos);
+    EXPECT_NE(j.find("\"queue_depth\":"), std::string::npos);
+    EXPECT_NE(j.find("\"queue_seconds\":"), std::string::npos);
 }
 
 } // namespace

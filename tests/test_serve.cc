@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Serving-layer tests: the two load-bearing guarantees of
+ * docs/SERVING.md.
+ *
+ *  1. Column-slot batching is invisible to results: a request packed
+ *     into a full pass produces the bit-identical prediction it
+ *     produces when it is the only occupant of a pass, and when its
+ *     inputs are run one-at-a-time through the raw
+ *     Accelerator::execute() path.
+ *  2. Service statistics are deterministic: the folded registry is
+ *     byte-identical for any worker count, and every deterministic
+ *     per-request field (prediction, batch metadata, simulated
+ *     latency and energy) is too.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "serve/service.hh"
+
+namespace mouse::serve
+{
+namespace
+{
+
+constexpr unsigned kBnnInputs = 12;
+constexpr unsigned kBnnClasses = 4;
+constexpr unsigned kSvmDim = 6;
+constexpr unsigned kSvmSvs = 4;
+constexpr unsigned kSvmInputBits = 4;
+
+ServiceConfig
+smallConfig(unsigned workers, unsigned max_batch = 0)
+{
+    ServiceConfig cfg;
+    cfg.engine.tech = TechConfig::ProjectedStt;
+    cfg.engine.array.tileRows = 512;
+    cfg.engine.array.tileCols = 16;  // 4 slots for both models
+    cfg.engine.array.numDataTiles = 1;
+    cfg.engine.array.numInstructionTiles = 4096;
+    cfg.workers = workers;
+    cfg.maxBatch = max_batch;
+    return cfg;
+}
+
+BnnServeModel
+randomBnn(Rng &rng)
+{
+    BnnServeModel m;
+    m.name = "bnn4";
+    m.layer.inputs = kBnnInputs;
+    m.layer.outputs = kBnnClasses;
+    m.layer.weights.assign(kBnnClasses,
+                           std::vector<Bit>(kBnnInputs));
+    m.layer.thresholds.resize(kBnnClasses);
+    for (unsigned c = 0; c < kBnnClasses; ++c) {
+        for (unsigned i = 0; i < kBnnInputs; ++i) {
+            m.layer.weights[c][i] = static_cast<Bit>(rng.below(2));
+        }
+        m.layer.thresholds[c] =
+            static_cast<std::int32_t>(rng.below(kBnnInputs + 1));
+    }
+    return m;
+}
+
+SvmServeModel
+randomSvm(Rng &rng)
+{
+    SvmServeModel m;
+    m.name = "svm2";
+    m.dim = kSvmDim;
+    m.inputBits = kSvmInputBits;
+    m.accBits = 12;
+    m.svm.supportVectors.assign(kSvmSvs, Features(kSvmDim));
+    m.svm.coefficients.resize(kSvmSvs);
+    for (unsigned s = 0; s < kSvmSvs; ++s) {
+        for (unsigned e = 0; e < kSvmDim; ++e) {
+            m.svm.supportVectors[s][e] =
+                static_cast<std::uint8_t>(rng.below(16));
+        }
+        m.svm.coefficients[s] = static_cast<std::int32_t>(
+                                    rng.below(9)) -
+                                4;
+    }
+    m.svm.bias = static_cast<std::int64_t>(rng.below(64)) - 32;
+    return m;
+}
+
+Input
+randomInput(Rng &rng, const PackedModel &m, unsigned element_bits)
+{
+    Input in(m.inputSize());
+    for (auto &v : in) {
+        v = static_cast<std::uint8_t>(
+            rng.below(1u << element_bits));
+    }
+    return in;
+}
+
+/** Mixed-model request sequence, reproducible from the seed. */
+struct Workload
+{
+    std::vector<ModelId> models;
+    std::vector<Input> inputs;
+};
+
+Workload
+makeWorkload(const InferenceService &svc, ModelId bnn, ModelId svm,
+             unsigned n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Workload w;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool useBnn = rng.below(2) == 0;
+        const ModelId m = useBnn ? bnn : svm;
+        w.models.push_back(m);
+        w.inputs.push_back(randomInput(
+            rng, svc.model(m), useBnn ? 1 : kSvmInputBits));
+    }
+    return w;
+}
+
+void
+submitAll(InferenceService &svc, const Workload &w)
+{
+    for (std::size_t i = 0; i < w.models.size(); ++i) {
+        const RequestId id = svc.submit(w.models[i], w.inputs[i]);
+        EXPECT_EQ(id, i);
+    }
+}
+
+TEST(Serve, PackedBatchMatchesSequentialExecute)
+{
+    Rng modelRng(71);
+    const BnnServeModel bnnModel = randomBnn(modelRng);
+    const SvmServeModel svmModel = randomSvm(modelRng);
+
+    // Packed: full 4-slot passes.
+    InferenceService packed(smallConfig(1, 0));
+    const ModelId bnnP = packed.addModel(bnnModel);
+    const ModelId svmP = packed.addModel(svmModel);
+    // Sequential: same engine, one request per pass.
+    InferenceService solo(smallConfig(1, 1));
+    const ModelId bnnS = solo.addModel(bnnModel);
+    const ModelId svmS = solo.addModel(svmModel);
+    ASSERT_EQ(bnnP, bnnS);
+    ASSERT_EQ(svmP, svmS);
+
+    const Workload w = makeWorkload(packed, bnnP, svmP, 24, 2024);
+    submitAll(packed, w);
+    submitAll(solo, w);
+    packed.drain();
+    solo.drain();
+
+    // Raw path: each input alone on a fresh accelerator, via the
+    // synchronous execute() entry point.
+    MouseConfig engineCfg = smallConfig(1).engine;
+    for (std::size_t i = 0; i < w.models.size(); ++i) {
+        const ClassifyResult &rp = packed.result(i);
+        const ClassifyResult &rs = solo.result(i);
+        EXPECT_EQ(rp.predicted, rs.predicted) << "request " << i;
+        EXPECT_EQ(rs.batchSize, 1u);
+        EXPECT_GT(rp.batchSize, 0u);
+
+        const PackedModel &m = packed.model(w.models[i]);
+        Accelerator acc(engineCfg);
+        acc.loadProgram(m.program());
+        m.deployWeights(acc.grid());
+        for (unsigned s = 0; s < m.slots(); ++s) {
+            m.clearInput(acc.grid(), s);
+        }
+        m.packInput(acc.grid(), 0, w.inputs[i]);
+        const RunResult res = acc.execute(RunRequest{});
+        ASSERT_TRUE(res.ok());
+        EXPECT_EQ(m.readPrediction(acc.grid(), 0), rp.predicted)
+            << "request " << i;
+    }
+}
+
+TEST(Serve, BnnPredictionMatchesSoftwareArgmax)
+{
+    Rng modelRng(5);
+    const BnnServeModel bnnModel = randomBnn(modelRng);
+    InferenceService svc(smallConfig(1));
+    const ModelId bnn = svc.addModel(bnnModel);
+
+    Rng rng(99);
+    std::vector<Input> inputs;
+    for (unsigned i = 0; i < 8; ++i) {
+        inputs.push_back(randomInput(rng, svc.model(bnn), 1));
+        svc.submit(bnn, inputs.back());
+    }
+    svc.drain();
+    for (unsigned i = 0; i < 8; ++i) {
+        int best = 0;
+        int bestPop = -1;
+        for (unsigned c = 0; c < kBnnClasses; ++c) {
+            int pop = 0;
+            for (unsigned b = 0; b < kBnnInputs; ++b) {
+                pop += bnnModel.layer.weights[c][b] ==
+                       inputs[i][b];
+            }
+            if (pop > bestPop) {
+                bestPop = pop;
+                best = static_cast<int>(c);
+            }
+        }
+        EXPECT_EQ(svc.result(i).predicted, best) << "request " << i;
+    }
+}
+
+TEST(Serve, StatsFoldByteIdenticallyAcrossWorkerCounts)
+{
+    Rng modelRng(17);
+    const BnnServeModel bnnModel = randomBnn(modelRng);
+    const SvmServeModel svmModel = randomSvm(modelRng);
+
+    auto run = [&](unsigned workers) {
+        auto svc = std::make_unique<InferenceService>(
+            smallConfig(workers));
+        const ModelId bnn = svc->addModel(bnnModel);
+        const ModelId svm = svc->addModel(svmModel);
+        const Workload w = makeWorkload(*svc, bnn, svm, 30, 777);
+        submitAll(*svc, w);
+        svc->drain();
+        return svc;
+    };
+    const auto one = run(1);
+    const auto four = run(4);
+
+    EXPECT_EQ(one->completed(), 30u);
+    EXPECT_EQ(four->completed(), 30u);
+    EXPECT_EQ(one->batchesRun(), four->batchesRun());
+    // The folded registry must not depend on which engine ran which
+    // batch: byte-identical JSON.
+    EXPECT_EQ(one->stats()->toJson(), four->stats()->toJson());
+    // And every deterministic per-request field must agree.
+    for (RequestId id = 0; id < 30; ++id) {
+        const ClassifyResult &a = one->result(id);
+        const ClassifyResult &b = four->result(id);
+        EXPECT_EQ(a.predicted, b.predicted) << "request " << id;
+        EXPECT_EQ(a.batchId, b.batchId) << "request " << id;
+        EXPECT_EQ(a.batchSize, b.batchSize) << "request " << id;
+        EXPECT_EQ(a.slot, b.slot) << "request " << id;
+        EXPECT_EQ(a.simSeconds, b.simSeconds) << "request " << id;
+        EXPECT_EQ(a.energy, b.energy) << "request " << id;
+    }
+}
+
+TEST(Serve, FlushCutsPartialBatchesAndCountsIdleSlots)
+{
+    Rng modelRng(23);
+    InferenceService svc(smallConfig(1));
+    const ModelId bnn = svc.addModel(randomBnn(modelRng));
+
+    Rng rng(3);
+    for (unsigned i = 0; i < 3; ++i) {  // 3 of 4 slots
+        svc.submit(bnn, randomInput(rng, svc.model(bnn), 1));
+    }
+    EXPECT_EQ(svc.pendingRequests(), 3u);
+    svc.drain();  // flushes the partial batch
+    EXPECT_EQ(svc.pendingRequests(), 0u);
+    EXPECT_EQ(svc.completed(), 3u);
+    EXPECT_EQ(svc.batchesRun(), 1u);
+    for (RequestId id = 0; id < 3; ++id) {
+        EXPECT_EQ(svc.result(id).batchSize, 3u);
+        EXPECT_EQ(svc.result(id).slot, id);
+    }
+    const auto reg = svc.stats();
+    EXPECT_EQ(reg->counterValue("serve.slots_idle"), 1.0);
+    EXPECT_EQ(reg->counterValue("serve.requests"), 3.0);
+}
+
+TEST(Serve, ReportJsonCarriesSchemaV4ServeBlock)
+{
+    Rng modelRng(31);
+    InferenceService svc(smallConfig(2));
+    const ModelId bnn = svc.addModel(randomBnn(modelRng));
+    Rng rng(8);
+    for (unsigned i = 0; i < 6; ++i) {
+        svc.submit(bnn, randomInput(rng, svc.model(bnn), 1));
+    }
+    svc.drain();
+    const std::string j = svc.reportJson();
+    EXPECT_NE(j.find("\"schema\":4"), std::string::npos);
+    EXPECT_NE(j.find("\"serve_report\":"), std::string::npos);
+    EXPECT_NE(j.find("\"requests\":6"), std::string::npos);
+    EXPECT_NE(j.find("\"throughput_per_s\":"), std::string::npos);
+    EXPECT_NE(j.find("\"p50\":"), std::string::npos);
+    EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+    EXPECT_NE(j.find("\"stat_registry\":"), std::string::npos);
+}
+
+} // namespace
+} // namespace mouse::serve

@@ -9,11 +9,17 @@ a machine-independent check: the ratio between two benchmarks from
 the *same* run (e.g. word-parallel vs scalar-oracle gate execution),
 which cancels the host speed out.
 
+A third, fully machine-independent check is the absolute floor: a
+benchmark whose items/sec must clear a fixed acceptance threshold
+(e.g. the serving bench's 1e5 classifications/sec target), checked
+against the fresh run only.
+
 Usage:
   check_bench_regression.py NEW.json BASELINE.json \
       --bench BM_TileGateExecution/1024 --max-regress 0.20 \
       --ratio BM_TileGateExecution/1024:BM_TileGateExecutionScalar/1024 \
-      --min-ratio 10
+      --min-ratio 10 \
+      --min-items 'BM_ServeSaturation/bnn/16384:1e5'
 """
 
 import argparse
@@ -47,6 +53,10 @@ def main():
                          " (machine-independent; repeatable)")
     ap.add_argument("--min-ratio", type=float, default=10.0,
                     help="minimum FAST/SLOW ratio (default 10)")
+    ap.add_argument("--min-items", action="append", default=[],
+                    help="NAME:FLOOR absolute items/sec floor the"
+                         " fresh run must clear (machine-independent"
+                         " acceptance gate; repeatable)")
     args = ap.parse_args()
 
     new = load_items_per_second(args.new)
@@ -81,6 +91,18 @@ def main():
         print(f"{verdict}: {fast_name} / {slow_name} ="
               f" {ratio:.1f}x (min {args.min_ratio:g}x)")
         failed |= ratio < args.min_ratio
+
+    for spec in args.min_items:
+        name, floor_text = spec.rsplit(":", 1)
+        floor = float(floor_text)
+        if name not in new:
+            print(f"FAIL: {name} missing from {args.new}")
+            failed = True
+            continue
+        verdict = "ok" if new[name] >= floor else "FAIL"
+        print(f"{verdict}: {name} {new[name]:.3e} items/s"
+              f" (absolute floor {floor:.3e})")
+        failed |= new[name] < floor
 
     return 1 if failed else 0
 

@@ -15,15 +15,21 @@
  *                                       (docs/FAULT_INJECTION.md);
  *                                       --replay PATH re-runs a saved
  *                                       reproducer
+ *   serve   [--requests N] [...]        batched-inference serving
+ *                                       driver (docs/SERVING.md);
+ *                                       --stream PATH replays a
+ *                                       request stream instead of
+ *                                       synthetic load
  *   list                                benchmark, tech, and injection
  *                                       workload names
  *
  * Tech names: modern-stt (default), projected-stt, she.
  * Benchmark names: mnist, mnist-bin, har, adult, finn, fpbnn.
  *
- * Every command validates its flags strictly: a flag no command knows
- * and a flag that belongs to a different command both exit 2 with a
- * usage hint, so typos never silently run a default configuration.
+ * Every command validates its flags strictly against one table of
+ * CommandSpecs (kCommands): a flag no command knows and a flag that
+ * belongs to a different command both exit 2 with a usage hint, so
+ * typos never silently run a default configuration.
  * Exit codes: 0 success (inject: campaign clean / replay did not
  * reproduce a failure), 1 inject found or reproduced mismatches,
  * 2 usage or I/O error.
@@ -56,11 +62,14 @@
 #include <unistd.h>
 #endif
 
+#include "common/rng.hh"
 #include "energy/area_model.hh"
 #include "exp/names.hh"
 #include "exp/runner.hh"
 #include "inject/campaign.hh"
 #include "inject/replay.hh"
+#include "serve/demo.hh"
+#include "serve/service.hh"
 #include "sim/termination.hh"
 
 using namespace mouse;
@@ -84,6 +93,9 @@ usage()
         "          [--random N] [--max-outages N] [--seed S]\n"
         "          [--threads N] [--report PATH] [--json]\n"
         "  inject  --replay PATH [--json]\n"
+        "  serve   [--tech T] [--model bnn|svm|mixed] [--requests N]\n"
+        "          [--batch N] [--threads N] [--seed S]\n"
+        "          [--stream PATH] [--json]\n"
         "  list\n"
         "bench/sweep outputs:\n"
         "  --stats-out PATH     stat registry (JSON, or CSV if PATH "
@@ -135,6 +147,16 @@ struct Options
     /** inject: replay the artifact/report at this path instead of
      *  running a campaign. */
     std::string replayPath;
+    /** serve: synthetic requests to generate (ignored with
+     *  --stream). */
+    std::size_t requests = 256;
+    /** serve: which demo models take load. */
+    std::string serveModel = "mixed";
+    /** serve: cap on requests per batch; 0 = one full pass. */
+    unsigned maxBatch = 0;
+    /** serve: request-stream file replayed instead of synthetic
+     *  load ("-" reads stdin). */
+    std::string streamPath;
 };
 
 /**
@@ -308,6 +330,8 @@ constexpr const char *kAllFlags[] = {
     "--progress",     "--workload",   "--sonic-window",
     "--no-journal",   "--random",     "--max-outages",
     "--seed",         "--report",     "--replay",
+    "--requests",     "--model",      "--batch",
+    "--stream",
 };
 
 /** Flags that are pure switches; every other flag consumes a value. */
@@ -329,16 +353,70 @@ inList(const char *flag, const char *const *list, std::size_t n)
     return false;
 }
 
-bool
-flagAllowed(const char *flag,
-            std::initializer_list<const char *> allowed)
+// -- Command table ---------------------------------------------------
+//
+// One CommandSpec per subcommand: its name, whether it takes a
+// positional argument, and exactly which flags it accepts.  Every
+// command's strict validation runs through this one table (and
+// parseFlags below), so a new subcommand gets "unknown flag" /
+// "does not apply" / missing-value handling by adding a row, and the
+// behaviors can never drift apart between commands.
+
+/** Declarative shape of one subcommand. */
+struct CommandSpec
 {
-    for (const char *a : allowed) {
-        if (!std::strcmp(flag, a)) {
-            return true;
+    const char *name;
+    /** Name of the required positional argument, or null. */
+    const char *positional;
+    const char *const *flags;
+    std::size_t numFlags;
+};
+
+constexpr const char *kInfoFlags[] = {"--tech", "--json"};
+constexpr const char *kBenchFlags[] = {
+    "--tech",      "--power",        "--continuous",
+    "--json",      "--stats-out",    "--trace-out",
+    "--waveform-out", "--json-out",  "--progress",
+};
+constexpr const char *kSweepFlags[] = {
+    "--tech",      "--threads",      "--json",
+    "--stats-out", "--trace-out",    "--waveform-out",
+    "--json-out",  "--progress",
+};
+constexpr const char *kAnalyzeFlags[] = {"--tech"};
+constexpr const char *kAreaFlags[] = {"--tech"};
+constexpr const char *kInjectFlags[] = {
+    "--workload",   "--sonic-window", "--no-journal",
+    "--random",     "--max-outages",  "--seed",
+    "--threads",    "--report",       "--replay",
+    "--json",
+};
+constexpr const char *kServeFlags[] = {
+    "--tech",    "--model",     "--requests",  "--batch",
+    "--threads", "--seed",      "--stream",    "--json",
+    "--json-out", "--stats-out", "--progress",
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"info", nullptr, kInfoFlags, std::size(kInfoFlags)},
+    {"bench", "NAME", kBenchFlags, std::size(kBenchFlags)},
+    {"sweep", "NAME", kSweepFlags, std::size(kSweepFlags)},
+    {"analyze", "NAME", kAnalyzeFlags, std::size(kAnalyzeFlags)},
+    {"area", "MB", kAreaFlags, std::size(kAreaFlags)},
+    {"inject", nullptr, kInjectFlags, std::size(kInjectFlags)},
+    {"serve", nullptr, kServeFlags, std::size(kServeFlags)},
+    {"list", nullptr, nullptr, 0},
+};
+
+const CommandSpec *
+findCommand(const std::string &cmd)
+{
+    for (const CommandSpec &spec : kCommands) {
+        if (cmd == spec.name) {
+            return &spec;
         }
     }
-    return false;
+    return nullptr;
 }
 
 /** Strict non-negative integer parse ("--threads needs ..."). */
@@ -360,14 +438,15 @@ parseCount(const char *flag, const char *val, std::uint64_t &out)
 }
 
 /**
- * Parse one command's flags.  Only flags in @p allowed are accepted:
- * a flag no command knows is rejected as unknown, one that belongs to
- * a different command as not applicable — both exit 2 through
- * usage(), so a typo never silently runs a default configuration.
+ * Parse one command's flags against its CommandSpec.  Only the
+ * spec's flags are accepted: a flag no command knows is rejected as
+ * unknown, one that belongs to a different command as not applicable
+ * — both exit 2 through usage(), so a typo never silently runs a
+ * default configuration.
  */
 bool
-parseFlags(int argc, char **argv, int start, const char *cmd,
-           std::initializer_list<const char *> allowed, Options &opts)
+parseFlags(int argc, char **argv, int start, const CommandSpec &spec,
+           Options &opts)
 {
     for (int i = start; i < argc; ++i) {
         const char *flag = argv[i];
@@ -375,10 +454,10 @@ parseFlags(int argc, char **argv, int start, const char *cmd,
             std::fprintf(stderr, "unknown flag '%s'\n", flag);
             return false;
         }
-        if (!flagAllowed(flag, allowed)) {
+        if (!inList(flag, spec.flags, spec.numFlags)) {
             std::fprintf(stderr,
                          "flag '%s' does not apply to '%s'\n", flag,
-                         cmd);
+                         spec.name);
             return false;
         }
         const char *val = nullptr;
@@ -469,6 +548,35 @@ parseFlags(int argc, char **argv, int start, const char *cmd,
             opts.reportOut = val;
         } else if (!std::strcmp(flag, "--replay")) {
             opts.replayPath = val;
+        } else if (!std::strcmp(flag, "--requests")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--requests needs a count >= 1, got "
+                             "'%s'\n",
+                             val);
+                return false;
+            }
+            opts.requests = n;
+        } else if (!std::strcmp(flag, "--model")) {
+            if (std::strcmp(val, "bnn") && std::strcmp(val, "svm") &&
+                std::strcmp(val, "mixed")) {
+                std::fprintf(stderr,
+                             "--model must be bnn, svm, or mixed, "
+                             "got '%s'\n",
+                             val);
+                return false;
+            }
+            opts.serveModel = val;
+        } else if (!std::strcmp(flag, "--batch")) {
+            if (!parseCount(flag, val, n)) {
+                return false;
+            }
+            opts.maxBatch = static_cast<unsigned>(n);
+        } else if (!std::strcmp(flag, "--stream")) {
+            opts.streamPath = val;
         }
     }
     return true;
@@ -814,6 +922,191 @@ cmdInject(const Options &opts)
     return 1;
 }
 
+// -- serve ------------------------------------------------------------
+
+/**
+ * Parse one request-stream line: "<bnn|svm> <e0> <e1> ...".
+ * Blank lines and '#' comments are skipped (returns true with
+ * model = npos).  A malformed line prints a message and fails.
+ */
+bool
+parseStreamLine(const std::string &line, std::size_t lineNo,
+                serve::ModelId bnn, serve::ModelId svm,
+                std::size_t &model, serve::Input &in)
+{
+    model = static_cast<std::size_t>(-1);
+    in.clear();
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') {
+        return true;
+    }
+    const std::size_t end = line.find_first_of(" \t\r", pos);
+    const std::string name = line.substr(pos, end - pos);
+    if (name == "bnn") {
+        model = bnn;
+    } else if (name == "svm") {
+        model = svm;
+    } else {
+        std::fprintf(stderr,
+                     "stream line %zu: unknown model '%s' (want "
+                     "bnn or svm)\n",
+                     lineNo, name.c_str());
+        return false;
+    }
+    pos = end;
+    while (pos != std::string::npos) {
+        pos = line.find_first_not_of(" \t\r", pos);
+        if (pos == std::string::npos) {
+            break;
+        }
+        char *endp = nullptr;
+        const long v = std::strtol(line.c_str() + pos, &endp, 10);
+        if (endp == line.c_str() + pos || v < 0 || v > 255) {
+            std::fprintf(stderr,
+                         "stream line %zu: bad element near '%s'\n",
+                         lineNo, line.c_str() + pos);
+            return false;
+        }
+        in.push_back(static_cast<std::uint8_t>(v));
+        pos = static_cast<std::size_t>(endp - line.c_str());
+    }
+    return true;
+}
+
+/** Batched-inference serving driver (docs/SERVING.md): registers
+ *  the deterministic demo models, admits synthetic or streamed
+ *  requests, drains the engine pool, and reports schema-v4 serve
+ *  JSON or a human summary. */
+int
+cmdServe(const Options &opts)
+{
+    Outputs out;
+    if (!out.open(opts)) {
+        return 2;
+    }
+
+    serve::ServiceConfig cfg;
+    cfg.engine.tech = opts.tech;
+    cfg.engine.array.tileRows = 512;
+    cfg.engine.array.tileCols = 1024;
+    cfg.engine.array.numDataTiles = 1;
+    cfg.engine.array.numInstructionTiles = 4096;
+    cfg.workers = opts.threads > 0 ? opts.threads : 1;
+    cfg.maxBatch = opts.maxBatch;
+    serve::InferenceService svc(cfg);
+    const serve::ModelId bnn = svc.addModel(serve::demoBnn(opts.rootSeed));
+    const serve::ModelId svm =
+        svc.addModel(serve::demoSvm(opts.rootSeed + 1));
+
+    if (!opts.streamPath.empty()) {
+        const bool fromStdin = opts.streamPath == "-";
+        std::FILE *fp = fromStdin
+                            ? stdin
+                            : std::fopen(opts.streamPath.c_str(),
+                                         "rb");
+        if (!fp) {
+            std::fprintf(stderr,
+                         "mouse_cli: cannot read '%s': %s\n",
+                         opts.streamPath.c_str(),
+                         std::strerror(errno));
+            return 2;
+        }
+        std::string line;
+        std::size_t lineNo = 0;
+        char buf[4096];
+        bool ok = true;
+        while (ok && std::fgets(buf, sizeof(buf), fp)) {
+            ++lineNo;
+            line = buf;
+            if (!line.empty() && line.back() == '\n') {
+                line.pop_back();
+            }
+            std::size_t model = 0;
+            serve::Input in;
+            if (!parseStreamLine(line, lineNo, bnn, svm, model,
+                                 in)) {
+                ok = false;
+                break;
+            }
+            if (model == static_cast<std::size_t>(-1)) {
+                continue;  // blank / comment
+            }
+            const serve::ModelId m =
+                static_cast<serve::ModelId>(model);
+            if (!svc.model(m).validInput(in)) {
+                std::fprintf(
+                    stderr,
+                    "stream line %zu: payload invalid for '%s' "
+                    "(want %zu elements of %u bit(s))\n",
+                    lineNo, svc.model(m).name().c_str(),
+                    svc.model(m).inputSize(),
+                    svc.model(m).elementBits());
+                ok = false;
+                break;
+            }
+            svc.submit(m, std::move(in));
+        }
+        if (!fromStdin) {
+            std::fclose(fp);
+        }
+        if (!ok) {
+            return 2;
+        }
+    } else {
+        Rng rng(opts.rootSeed + 2);
+        for (std::size_t i = 0; i < opts.requests; ++i) {
+            serve::ModelId m = bnn;
+            if (opts.serveModel == "svm") {
+                m = svm;
+            } else if (opts.serveModel == "mixed") {
+                m = rng.below(2) == 0 ? bnn : svm;
+            }
+            svc.submit(m, serve::randomInput(rng, svc.model(m)));
+        }
+    }
+
+    const std::size_t admitted = svc.pendingRequests();
+    if (admitted == 0) {
+        std::fprintf(stderr, "serve: no requests admitted\n");
+        return 2;
+    }
+    const double secs = svc.drain();
+    const std::string report = svc.reportJson();
+    out.json.write(report + "\n");
+    if (out.stats.wanted()) {
+        const auto reg = svc.stats();
+        const bool csv =
+            out.stats.path().size() >= 4 &&
+            out.stats.path().compare(out.stats.path().size() - 4, 4,
+                                     ".csv") == 0;
+        out.stats.write(csv ? reg->toCsv() : reg->toJson() + "\n");
+    }
+    if (opts.json) {
+        std::printf("%s\n", report.c_str());
+        return 0;
+    }
+    std::printf("serve: %zu requests over %zu batches on %s "
+                "(%u worker%s)\n",
+                svc.completed(), svc.batchesRun(),
+                makeDeviceConfig(opts.tech).name().c_str(),
+                cfg.workers, cfg.workers == 1 ? "" : "s");
+    const auto reg = svc.stats();
+    std::printf("throughput: %.0f classifications/s over %.1f ms "
+                "drain\n",
+                static_cast<double>(svc.completed()) /
+                    (secs > 0.0 ? secs : 1.0),
+                secs * 1e3);
+    std::printf("simulated: %.3f ms array time, %.3f uJ "
+                "(%.0f classifications/s-array)\n",
+                reg->scalarValue("serve.sim_time_s") * 1e3,
+                reg->scalarValue("serve.energy_j") * 1e6,
+                reg->counterValue("serve.requests") /
+                    (reg->scalarValue("serve.sim_time_s") > 0.0
+                         ? reg->scalarValue("serve.sim_time_s")
+                         : 1.0));
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -847,25 +1140,29 @@ main(int argc, char **argv)
         return usage();
     }
     const std::string cmd = argv[1];
+    const CommandSpec *spec = findCommand(cmd);
+    if (!spec) {
+        std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+        return usage();
+    }
+    if (spec->positional && argc < 3) {
+        std::fprintf(stderr, "'%s' needs a %s argument\n",
+                     spec->name, spec->positional);
+        return usage();
+    }
+    const int flagStart = spec->positional ? 3 : 2;
     Options opts;
+    if (!parseFlags(argc, argv, flagStart, *spec, opts)) {
+        return usage();
+    }
 
     if (cmd == "list") {
-        if (argc > 2) {
-            std::fprintf(stderr, "'list' takes no arguments\n");
-            return usage();
-        }
         return cmdList();
     }
     if (cmd == "info") {
-        return parseFlags(argc, argv, 2, "info", {"--tech", "--json"},
-                          opts)
-                   ? cmdInfo(opts)
-                   : usage();
+        return cmdInfo(opts);
     }
     if (cmd == "area") {
-        if (argc < 3) {
-            return usage();
-        }
         char *end = nullptr;
         const double mb = std::strtod(argv[2], &end);
         if (end == argv[2] || *end != '\0' || mb <= 0.0) {
@@ -875,54 +1172,26 @@ main(int argc, char **argv)
                          argv[2]);
             return 2;
         }
-        return parseFlags(argc, argv, 3, "area", {"--tech"}, opts)
-                   ? cmdArea(mb, opts)
-                   : usage();
+        return cmdArea(mb, opts);
     }
     if (cmd == "inject") {
-        return parseFlags(argc, argv, 2, "inject",
-                          {"--workload", "--sonic-window",
-                           "--no-journal", "--random",
-                           "--max-outages", "--seed", "--threads",
-                           "--report", "--replay", "--json"},
-                          opts)
-                   ? cmdInject(opts)
-                   : usage();
+        return cmdInject(opts);
     }
-    if (cmd == "bench" || cmd == "sweep" || cmd == "analyze") {
-        if (argc < 3) {
-            return usage();
-        }
-        const auto bi = names::benchmarkIndex(argv[2]);
-        if (!bi) {
-            std::fprintf(stderr, "unknown benchmark '%s'\n", argv[2]);
-            return 2;
-        }
-        const exp::Benchmark &b = exp::paperBenchmarks()[*bi];
-        if (cmd == "bench") {
-            return parseFlags(argc, argv, 3, "bench",
-                              {"--tech", "--power", "--continuous",
-                               "--json", "--stats-out", "--trace-out",
-                               "--waveform-out", "--json-out",
-                               "--progress"},
-                              opts)
-                       ? cmdBench(b, opts)
-                       : usage();
-        }
-        if (cmd == "sweep") {
-            return parseFlags(argc, argv, 3, "sweep",
-                              {"--tech", "--threads", "--json",
-                               "--stats-out", "--trace-out",
-                               "--waveform-out", "--json-out",
-                               "--progress"},
-                              opts)
-                       ? cmdSweep(b, opts)
-                       : usage();
-        }
-        return parseFlags(argc, argv, 3, "analyze", {"--tech"}, opts)
-                   ? cmdAnalyze(b, opts)
-                   : usage();
+    if (cmd == "serve") {
+        return cmdServe(opts);
     }
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return usage();
+    // bench / sweep / analyze share the benchmark positional.
+    const auto bi = names::benchmarkIndex(argv[2]);
+    if (!bi) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", argv[2]);
+        return 2;
+    }
+    const exp::Benchmark &b = exp::paperBenchmarks()[*bi];
+    if (cmd == "bench") {
+        return cmdBench(b, opts);
+    }
+    if (cmd == "sweep") {
+        return cmdSweep(b, opts);
+    }
+    return cmdAnalyze(b, opts);
 }
