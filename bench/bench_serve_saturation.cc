@@ -213,6 +213,16 @@ main(int argc, char **argv)
             // Headline saturated point for the regression gate.
             points.push_back(
                 measurePoint(svc, mix, bnn, svm, 16384, 7));
+            // The same load with live observability on (metrics hub
+            // + request spans), so the telemetry tax stays visible
+            // next to the zero-cost off path the gate protects.
+            obs::MetricsHub hub;
+            svc.setMetrics(&hub);
+            svc.setTracing(true);
+            points.push_back(
+                measurePoint(svc, "bnn_obs", bnn, svm, 4096, 7));
+            svc.setMetrics(nullptr);
+            svc.setTracing(false);
         }
     }
 

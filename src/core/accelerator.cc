@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/metrics_hub.hh"
 
 namespace mouse
 {
@@ -100,6 +101,9 @@ Accelerator::submit(RunRequest req)
     run.queueDepth = static_cast<unsigned>(pending_.size());
     run.submitted = std::chrono::steady_clock::now();
     pending_.push_back(std::move(run));
+    if (metrics_ != nullptr) {
+        metrics_->recordSubmit();
+    }
     return RequestHandle{pending_.back().id};
 }
 
@@ -117,6 +121,18 @@ Accelerator::runOnePending()
     res.serve.requestId = run.id;
     res.serve.queueDepth = run.queueDepth;
     res.serve.queueSeconds = queued;
+    if (metrics_ != nullptr) {
+        // An async run is a batch of one; rejected requests still
+        // complete (lowering the queue gauge) but execute nothing.
+        if (res.ok()) {
+            metrics_->recordBatch(1, 1, res.stats.totalTime(),
+                                  res.stats.totalEnergy(),
+                                  res.stats.chargingTime,
+                                  res.stats.outages);
+        }
+        metrics_->recordDone(queued + res.wallSeconds,
+                             res.stats.totalTime());
+    }
     completed_.emplace(run.id, std::move(res));
 }
 

@@ -32,6 +32,11 @@
 namespace mouse
 {
 
+namespace obs
+{
+class MetricsHub;
+} // namespace obs
+
 /**
  * Ticket identifying a request given to Accelerator::submit().
  * Redeem it with poll() (non-blocking) or wait() (runs the queue
@@ -124,6 +129,15 @@ class Accelerator
     /** Requests admitted but not yet run. */
     std::size_t pendingRequests() const { return pending_.size(); }
 
+    /**
+     * Attach a live-metrics hub (docs/OBSERVABILITY.md): submit()
+     * and the queue driver publish admission/completion/latency into
+     * it.  Observational only — results, stats and traces are
+     * byte-identical with or without a hub.  Null detaches.  The hub
+     * must outlive the accelerator (or be detached first).
+     */
+    void setMetrics(obs::MetricsHub *hub) { metrics_ = hub; }
+
   private:
     /** One admitted-but-not-run request. */
     struct PendingRun
@@ -147,6 +161,7 @@ class Accelerator
     std::deque<PendingRun> pending_;
     std::map<std::uint64_t, RunResult> completed_;
     std::uint64_t nextHandle_ = 1;
+    obs::MetricsHub *metrics_ = nullptr;
 };
 
 } // namespace mouse

@@ -81,6 +81,22 @@ class TracePowerSource : public PowerSource
 
     Seconds period() const { return period_; }
 
+    /**
+     * Square wave: @p peak watts for @p duty of each @p period, then
+     * zero.  The canonical outage-heavy source for brownout-
+     * attribution experiments — every off phase starves the buffer,
+     * so runs longer than duty*period are guaranteed outages.
+     */
+    static TracePowerSource
+    square(Seconds period, double duty, Watts peak)
+    {
+        mouse_assert(period > 0.0, "non-positive square period");
+        mouse_assert(duty > 0.0 && duty < 1.0,
+                     "square duty must be in (0, 1)");
+        return TracePowerSource(
+            {{period * duty, peak}, {period * (1.0 - duty), 0.0}});
+    }
+
   private:
     std::vector<Segment> segments_;
     Seconds period_ = 0.0;

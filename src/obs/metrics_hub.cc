@@ -1,0 +1,743 @@
+#include "metrics_hub.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mouse::obs
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Same geometric bucketing as obs::Histogram, over atomics. */
+int
+bucketIndex(double v)
+{
+    if (!(v > 0.0)) {
+        return 0;
+    }
+    const double d = std::log10(v) - Histogram::kLoExponent;
+    const int idx = 1 + static_cast<int>(std::floor(
+                            d * Histogram::kBucketsPerDecade));
+    return std::clamp(idx, 0, Histogram::kBuckets - 1);
+}
+
+double
+bucketLo(int idx)
+{
+    return std::pow(10.0, Histogram::kLoExponent +
+                              static_cast<double>(idx - 1) /
+                                  Histogram::kBucketsPerDecade);
+}
+
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    a.fetch_add(v, std::memory_order_relaxed);
+}
+
+void
+atomicMin(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v,
+                                    std::memory_order_relaxed)) {
+    }
+}
+
+/** Plain (non-atomic) merged view of the window's latency buckets. */
+struct MergedHist
+{
+    std::uint64_t buckets[Histogram::kBuckets] = {};
+    std::uint64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    double
+    percentile(double q) const
+    {
+        if (count == 0) {
+            return 0.0;
+        }
+        q = std::clamp(q, 0.0, 1.0);
+        const double target = q * static_cast<double>(count);
+        std::uint64_t seen = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            if (buckets[i] == 0) {
+                continue;
+            }
+            const double next =
+                static_cast<double>(seen + buckets[i]);
+            if (next >= target) {
+                double v;
+                if (i == 0) {
+                    v = min;
+                } else {
+                    const double lo = bucketLo(i);
+                    const double hi =
+                        lo * std::pow(
+                                 10.0,
+                                 1.0 / Histogram::kBucketsPerDecade);
+                    const double frac =
+                        (target - static_cast<double>(seen)) /
+                        static_cast<double>(buckets[i]);
+                    v = lo +
+                        (hi - lo) * std::clamp(frac, 0.0, 1.0);
+                }
+                return std::clamp(v, min, max);
+            }
+            seen += buckets[i];
+        }
+        return max;
+    }
+
+    LatencyQuantiles
+    quantiles() const
+    {
+        LatencyQuantiles q;
+        q.count = count;
+        q.p50 = percentile(0.50);
+        q.p95 = percentile(0.95);
+        q.p99 = percentile(0.99);
+        return q;
+    }
+};
+
+} // namespace
+
+/** One ring slot: the window's state for one slice of host time. */
+struct MetricsHub::Slot
+{
+    static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+    std::atomic<std::uint64_t> epoch{kNoEpoch};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> slotsTotal{0};
+    std::atomic<std::uint64_t> slotsUsed{0};
+    std::atomic<double> energyJoules{0.0};
+    std::atomic<double> outageStallSeconds{0.0};
+    std::atomic<std::uint64_t> hostBuckets[Histogram::kBuckets];
+    std::atomic<std::uint64_t> simBuckets[Histogram::kBuckets];
+    std::atomic<double> hostMin{
+        std::numeric_limits<double>::infinity()};
+    std::atomic<double> hostMax{
+        -std::numeric_limits<double>::infinity()};
+    std::atomic<double> simMin{
+        std::numeric_limits<double>::infinity()};
+    std::atomic<double> simMax{
+        -std::numeric_limits<double>::infinity()};
+
+    Slot()
+    {
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            hostBuckets[i].store(0, std::memory_order_relaxed);
+            simBuckets[i].store(0, std::memory_order_relaxed);
+        }
+    }
+
+    /** Zero everything but the epoch (the reclaimer just set it). */
+    void
+    reset()
+    {
+        completed.store(0, std::memory_order_relaxed);
+        batches.store(0, std::memory_order_relaxed);
+        slotsTotal.store(0, std::memory_order_relaxed);
+        slotsUsed.store(0, std::memory_order_relaxed);
+        energyJoules.store(0.0, std::memory_order_relaxed);
+        outageStallSeconds.store(0.0, std::memory_order_relaxed);
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            hostBuckets[i].store(0, std::memory_order_relaxed);
+            simBuckets[i].store(0, std::memory_order_relaxed);
+        }
+        hostMin.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+        hostMax.store(-std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+        simMin.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        simMax.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    }
+};
+
+MetricsHub::MetricsHub(const MetricsConfig &cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now())
+{
+    mouse_assert(cfg_.windowSeconds > 0.0,
+                 "metrics window must be positive");
+    mouse_assert(cfg_.windowSlots >= 2,
+                 "metrics window needs >= 2 slots");
+    slotSeconds_ = cfg_.windowSeconds /
+                   static_cast<double>(cfg_.windowSlots);
+    slots_ = std::make_unique<Slot[]>(cfg_.windowSlots);
+}
+
+MetricsHub::~MetricsHub() = default;
+
+double
+MetricsHub::now() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+MetricsHub::Slot &
+MetricsHub::slotFor(double nowS, std::uint64_t &epochOut)
+{
+    const std::uint64_t e =
+        static_cast<std::uint64_t>(nowS / slotSeconds_);
+    epochOut = e;
+    Slot &s = slots_[e % cfg_.windowSlots];
+    std::uint64_t seen = s.epoch.load(std::memory_order_relaxed);
+    while (seen != e) {
+        // First writer to land in a recycled time range claims the
+        // slot and zeroes it.  A sample racing the reset may be lost
+        // from the *window* view (never the lifetime totals) —
+        // monitoring-grade accuracy, by design.
+        if (s.epoch.compare_exchange_weak(
+                seen, e, std::memory_order_relaxed)) {
+            s.reset();
+            break;
+        }
+    }
+    return s;
+}
+
+void
+MetricsHub::recordSubmit(std::uint64_t n)
+{
+    submitted_.fetch_add(n, std::memory_order_relaxed);
+    queueDepth_.fetch_add(static_cast<std::int64_t>(n),
+                          std::memory_order_relaxed);
+}
+
+void
+MetricsHub::recordBatch(unsigned size, unsigned slots,
+                        double simSeconds, double energyJ,
+                        double outageStallS, std::uint64_t outages)
+{
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    slotsTotal_.fetch_add(slots, std::memory_order_relaxed);
+    slotsUsed_.fetch_add(size, std::memory_order_relaxed);
+    outages_.fetch_add(outages, std::memory_order_relaxed);
+    atomicAdd(simSeconds_, simSeconds);
+    atomicAdd(energyJoules_, energyJ);
+    atomicAdd(outageStallSeconds_, outageStallS);
+
+    std::uint64_t e = 0;
+    Slot &s = slotFor(now(), e);
+    s.batches.fetch_add(1, std::memory_order_relaxed);
+    s.slotsTotal.fetch_add(slots, std::memory_order_relaxed);
+    s.slotsUsed.fetch_add(size, std::memory_order_relaxed);
+    atomicAdd(s.energyJoules, energyJ);
+    atomicAdd(s.outageStallSeconds, outageStallS);
+}
+
+void
+MetricsHub::recordDone(double hostLatencyS, double simLatencyS)
+{
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    queueDepth_.fetch_sub(1, std::memory_order_relaxed);
+
+    std::uint64_t e = 0;
+    Slot &s = slotFor(now(), e);
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    s.hostBuckets[bucketIndex(hostLatencyS)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.simBuckets[bucketIndex(simLatencyS)].fetch_add(
+        1, std::memory_order_relaxed);
+    atomicMin(s.hostMin, hostLatencyS);
+    atomicMax(s.hostMax, hostLatencyS);
+    atomicMin(s.simMin, simLatencyS);
+    atomicMax(s.simMax, simLatencyS);
+}
+
+void
+MetricsHub::recordStallWarning()
+{
+    stallWarnings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MetricsHub::workerActive(int delta)
+{
+    activeWorkers_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+MetricsHub::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.uptimeSeconds = now();
+    snap.submitted = submitted_.load(std::memory_order_relaxed);
+    snap.completed = completed_.load(std::memory_order_relaxed);
+    snap.batches = batches_.load(std::memory_order_relaxed);
+    snap.slotsTotal = slotsTotal_.load(std::memory_order_relaxed);
+    snap.slotsUsed = slotsUsed_.load(std::memory_order_relaxed);
+    snap.outages = outages_.load(std::memory_order_relaxed);
+    snap.stallWarnings =
+        stallWarnings_.load(std::memory_order_relaxed);
+    snap.queueDepth = queueDepth_.load(std::memory_order_relaxed);
+    const std::int32_t active =
+        activeWorkers_.load(std::memory_order_relaxed);
+    snap.activeWorkers =
+        active > 0 ? static_cast<std::uint32_t>(active) : 0;
+    snap.simSeconds = simSeconds_.load(std::memory_order_relaxed);
+    snap.energyJoules =
+        energyJoules_.load(std::memory_order_relaxed);
+    snap.outageStallSeconds =
+        outageStallSeconds_.load(std::memory_order_relaxed);
+    snap.throughputPerS =
+        snap.uptimeSeconds > 0.0
+            ? static_cast<double>(snap.completed) /
+                  snap.uptimeSeconds
+            : 0.0;
+
+    // Fold the live window slots.
+    const std::uint64_t cur = static_cast<std::uint64_t>(
+        snap.uptimeSeconds / slotSeconds_);
+    const std::uint64_t oldest =
+        cur >= cfg_.windowSlots ? cur - cfg_.windowSlots + 1 : 0;
+    MergedHist host;
+    MergedHist sim;
+    std::uint64_t wSlotsTotal = 0;
+    std::uint64_t wSlotsUsed = 0;
+    double wEnergy = 0.0;
+    for (unsigned i = 0; i < cfg_.windowSlots; ++i) {
+        const Slot &s = slots_[i];
+        const std::uint64_t e =
+            s.epoch.load(std::memory_order_relaxed);
+        if (e == Slot::kNoEpoch || e < oldest || e > cur) {
+            continue;
+        }
+        snap.windowCompleted +=
+            s.completed.load(std::memory_order_relaxed);
+        snap.windowBatches +=
+            s.batches.load(std::memory_order_relaxed);
+        wSlotsTotal += s.slotsTotal.load(std::memory_order_relaxed);
+        wSlotsUsed += s.slotsUsed.load(std::memory_order_relaxed);
+        wEnergy += s.energyJoules.load(std::memory_order_relaxed);
+        snap.windowOutageStallSeconds +=
+            s.outageStallSeconds.load(std::memory_order_relaxed);
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+            const std::uint64_t hb =
+                s.hostBuckets[b].load(std::memory_order_relaxed);
+            const std::uint64_t sb =
+                s.simBuckets[b].load(std::memory_order_relaxed);
+            host.buckets[b] += hb;
+            host.count += hb;
+            sim.buckets[b] += sb;
+            sim.count += sb;
+        }
+        host.min = std::min(
+            host.min, s.hostMin.load(std::memory_order_relaxed));
+        host.max = std::max(
+            host.max, s.hostMax.load(std::memory_order_relaxed));
+        sim.min = std::min(
+            sim.min, s.simMin.load(std::memory_order_relaxed));
+        sim.max = std::max(
+            sim.max, s.simMax.load(std::memory_order_relaxed));
+    }
+    snap.windowSeconds =
+        std::min(snap.uptimeSeconds, cfg_.windowSeconds);
+    snap.windowThroughputPerS =
+        snap.windowSeconds > 0.0
+            ? static_cast<double>(snap.windowCompleted) /
+                  snap.windowSeconds
+            : 0.0;
+    snap.windowOccupancy =
+        wSlotsTotal > 0
+            ? static_cast<double>(wSlotsUsed) /
+                  static_cast<double>(wSlotsTotal)
+            : 0.0;
+    snap.windowEnergyPerRequestJ =
+        snap.windowCompleted > 0
+            ? wEnergy / static_cast<double>(snap.windowCompleted)
+            : 0.0;
+    snap.hostLatency = host.quantiles();
+    snap.simLatency = sim.quantiles();
+    return snap;
+}
+
+// -- Serialization ----------------------------------------------------
+//
+// fromJson() scans for the keys in the exact order toJson() emits
+// them, so the two stay a strict round-trip pair; extend both
+// together (and docs/OBSERVABILITY.md's format table).
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string j = "{\"metrics_schema\":1";
+    j += ",\"uptime_s\":" + num(uptimeSeconds);
+    j += ",\"window_s\":" + num(windowSeconds);
+    j += ",\"lifetime\":{";
+    j += "\"submitted\":" + std::to_string(submitted);
+    j += ",\"completed\":" + std::to_string(completed);
+    j += ",\"batches\":" + std::to_string(batches);
+    j += ",\"queue_depth\":" + std::to_string(queueDepth);
+    j += ",\"active_workers\":" + std::to_string(activeWorkers);
+    j += ",\"slots_total\":" + std::to_string(slotsTotal);
+    j += ",\"slots_used\":" + std::to_string(slotsUsed);
+    j += ",\"outages\":" + std::to_string(outages);
+    j += ",\"stall_warnings\":" + std::to_string(stallWarnings);
+    j += ",\"sim_seconds\":" + num(simSeconds);
+    j += ",\"energy_j\":" + num(energyJoules);
+    j += ",\"outage_stall_s\":" + num(outageStallSeconds);
+    j += ",\"throughput_per_s\":" + num(throughputPerS);
+    j += "},\"window\":{";
+    j += "\"completed\":" + std::to_string(windowCompleted);
+    j += ",\"batches\":" + std::to_string(windowBatches);
+    j += ",\"throughput_per_s\":" + num(windowThroughputPerS);
+    j += ",\"batch_occupancy\":" + num(windowOccupancy);
+    j += ",\"energy_per_request_j\":" + num(windowEnergyPerRequestJ);
+    j += ",\"outage_stall_s\":" + num(windowOutageStallSeconds);
+    j += ",\"host_latency_s\":{";
+    j += "\"count\":" + std::to_string(hostLatency.count);
+    j += ",\"p50\":" + num(hostLatency.p50);
+    j += ",\"p95\":" + num(hostLatency.p95);
+    j += ",\"p99\":" + num(hostLatency.p99);
+    j += "},\"sim_latency_s\":{";
+    j += "\"count\":" + std::to_string(simLatency.count);
+    j += ",\"p50\":" + num(simLatency.p50);
+    j += ",\"p95\":" + num(simLatency.p95);
+    j += ",\"p99\":" + num(simLatency.p99);
+    j += "}}}";
+    return j;
+}
+
+std::string
+MetricsSnapshot::toPrometheus() const
+{
+    std::string p;
+    auto counter = [&p](const char *name, const char *help,
+                        double v) {
+        p += "# HELP ";
+        p += name;
+        p += " ";
+        p += help;
+        p += "\n# TYPE ";
+        p += name;
+        p += " counter\n";
+        p += name;
+        p += " " + num(v) + "\n";
+    };
+    auto gauge = [&p](const char *name, const char *help, double v) {
+        p += "# HELP ";
+        p += name;
+        p += " ";
+        p += help;
+        p += "\n# TYPE ";
+        p += name;
+        p += " gauge\n";
+        p += name;
+        p += " " + num(v) + "\n";
+    };
+    counter("mouse_serve_requests_submitted_total",
+            "requests admitted", static_cast<double>(submitted));
+    counter("mouse_serve_requests_completed_total",
+            "requests completed", static_cast<double>(completed));
+    counter("mouse_serve_batches_total", "gate passes executed",
+            static_cast<double>(batches));
+    counter("mouse_serve_outages_total",
+            "harvested-power brownouts across passes",
+            static_cast<double>(outages));
+    counter("mouse_serve_stall_warnings_total",
+            "queue-stall watchdog firings",
+            static_cast<double>(stallWarnings));
+    counter("mouse_serve_sim_seconds_total",
+            "simulated array seconds", simSeconds);
+    counter("mouse_serve_energy_joules_total",
+            "simulated array energy", energyJoules);
+    counter("mouse_serve_outage_stall_seconds_total",
+            "simulated seconds lost to brownouts",
+            outageStallSeconds);
+    gauge("mouse_serve_queue_depth",
+          "requests admitted but not completed",
+          static_cast<double>(queueDepth));
+    gauge("mouse_serve_active_workers", "workers inside a drain",
+          static_cast<double>(activeWorkers));
+    gauge("mouse_serve_uptime_seconds",
+          "seconds since the hub was created", uptimeSeconds);
+    gauge("mouse_serve_window_throughput_per_second",
+          "rolling-window completion rate", windowThroughputPerS);
+    gauge("mouse_serve_window_batch_occupancy",
+          "rolling-window used/offered column-slot ratio",
+          windowOccupancy);
+    gauge("mouse_serve_window_energy_per_request_joules",
+          "rolling-window energy per completed request",
+          windowEnergyPerRequestJ);
+    auto quantiles = [&p](const char *name, const char *help,
+                          const LatencyQuantiles &q) {
+        p += "# HELP ";
+        p += name;
+        p += " ";
+        p += help;
+        p += "\n# TYPE ";
+        p += name;
+        p += " summary\n";
+        p += std::string(name) + "{quantile=\"0.5\"} " +
+             num(q.p50) + "\n";
+        p += std::string(name) + "{quantile=\"0.95\"} " +
+             num(q.p95) + "\n";
+        p += std::string(name) + "{quantile=\"0.99\"} " +
+             num(q.p99) + "\n";
+        p += std::string(name) + "_count " +
+             std::to_string(q.count) + "\n";
+    };
+    quantiles("mouse_serve_host_latency_seconds",
+              "rolling-window admission-to-completion latency",
+              hostLatency);
+    quantiles("mouse_serve_sim_latency_seconds",
+              "rolling-window simulated pass latency", simLatency);
+    return p;
+}
+
+namespace
+{
+
+/** Find '"key":' at/after @p pos and parse the number behind it. */
+bool
+scanNumber(const std::string &text, const char *key,
+           std::size_t &pos, double &out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = text.find(needle, pos);
+    if (at == std::string::npos) {
+        return false;
+    }
+    const char *start = text.c_str() + at + needle.size();
+    char *end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) {
+        return false;
+    }
+    pos = static_cast<std::size_t>(end - text.c_str());
+    return true;
+}
+
+} // namespace
+
+std::optional<MetricsSnapshot>
+MetricsSnapshot::fromJson(const std::string &text)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    if (!scanNumber(text, "metrics_schema", pos, v) || v != 1.0) {
+        return std::nullopt;
+    }
+    MetricsSnapshot s;
+    auto u64 = [](double d) {
+        return d > 0.0 ? static_cast<std::uint64_t>(d + 0.5) : 0;
+    };
+    // Keys scanned in toJson() emission order; "lifetime" keys come
+    // before the same-named "window" keys.
+    if (!scanNumber(text, "uptime_s", pos, s.uptimeSeconds) ||
+        !scanNumber(text, "window_s", pos, s.windowSeconds) ||
+        !scanNumber(text, "submitted", pos, v)) {
+        return std::nullopt;
+    }
+    s.submitted = u64(v);
+    if (!scanNumber(text, "completed", pos, v)) {
+        return std::nullopt;
+    }
+    s.completed = u64(v);
+    if (!scanNumber(text, "batches", pos, v)) {
+        return std::nullopt;
+    }
+    s.batches = u64(v);
+    if (!scanNumber(text, "queue_depth", pos, v)) {
+        return std::nullopt;
+    }
+    s.queueDepth = static_cast<std::int64_t>(v);
+    if (!scanNumber(text, "active_workers", pos, v)) {
+        return std::nullopt;
+    }
+    s.activeWorkers = static_cast<std::uint32_t>(u64(v));
+    if (!scanNumber(text, "slots_total", pos, v)) {
+        return std::nullopt;
+    }
+    s.slotsTotal = u64(v);
+    if (!scanNumber(text, "slots_used", pos, v)) {
+        return std::nullopt;
+    }
+    s.slotsUsed = u64(v);
+    if (!scanNumber(text, "outages", pos, v)) {
+        return std::nullopt;
+    }
+    s.outages = u64(v);
+    if (!scanNumber(text, "stall_warnings", pos, v)) {
+        return std::nullopt;
+    }
+    s.stallWarnings = u64(v);
+    if (!scanNumber(text, "sim_seconds", pos, s.simSeconds) ||
+        !scanNumber(text, "energy_j", pos, s.energyJoules) ||
+        !scanNumber(text, "outage_stall_s", pos,
+                    s.outageStallSeconds) ||
+        !scanNumber(text, "throughput_per_s", pos,
+                    s.throughputPerS) ||
+        !scanNumber(text, "completed", pos, v)) {
+        return std::nullopt;
+    }
+    s.windowCompleted = u64(v);
+    if (!scanNumber(text, "batches", pos, v)) {
+        return std::nullopt;
+    }
+    s.windowBatches = u64(v);
+    if (!scanNumber(text, "throughput_per_s", pos,
+                    s.windowThroughputPerS) ||
+        !scanNumber(text, "batch_occupancy", pos,
+                    s.windowOccupancy) ||
+        !scanNumber(text, "energy_per_request_j", pos,
+                    s.windowEnergyPerRequestJ) ||
+        !scanNumber(text, "outage_stall_s", pos,
+                    s.windowOutageStallSeconds)) {
+        return std::nullopt;
+    }
+    auto latency = [&](LatencyQuantiles &q) {
+        double c = 0.0;
+        if (!scanNumber(text, "count", pos, c) ||
+            !scanNumber(text, "p50", pos, q.p50) ||
+            !scanNumber(text, "p95", pos, q.p95) ||
+            !scanNumber(text, "p99", pos, q.p99)) {
+            return false;
+        }
+        q.count = u64(c);
+        return true;
+    };
+    if (!latency(s.hostLatency) || !latency(s.simLatency)) {
+        return std::nullopt;
+    }
+    return s;
+}
+
+// -- StallWatchdog ----------------------------------------------------
+
+const char *
+StallReport::kindName() const
+{
+    switch (kind) {
+      case Kind::kIdleQueue:
+        return "idle_queue";
+      case Kind::kStuckDrain:
+        return "stuck_drain";
+    }
+    return "?";
+}
+
+std::string
+StallReport::toJson() const
+{
+    std::string j = "{\"stall\":\"";
+    j += kindName();
+    j += "\",\"stalled_s\":" + num(stalledSeconds);
+    j += ",\"queue_depth\":" + std::to_string(queueDepth);
+    j += ",\"completed\":" + std::to_string(completed);
+    j += ",\"batches\":" + std::to_string(batches);
+    j += ",\"active_workers\":" + std::to_string(activeWorkers);
+    j += "}";
+    return j;
+}
+
+StallWatchdog::StallWatchdog(MetricsHub &hub,
+                             double noProgressSeconds)
+    : hub_(hub), threshold_(noProgressSeconds)
+{
+    mouse_assert(threshold_ > 0.0,
+                 "watchdog threshold must be positive");
+}
+
+StallWatchdog::~StallWatchdog()
+{
+    stop();
+}
+
+std::optional<StallReport>
+StallWatchdog::check(double nowSeconds)
+{
+    const MetricsSnapshot s = hub_.snapshot();
+    const std::uint64_t progress = s.completed + s.batches;
+    if (!seeded_ || progress != lastProgress_) {
+        seeded_ = true;
+        lastProgress_ = progress;
+        lastProgressAt_ = nowSeconds;
+        reported_ = false;
+        return std::nullopt;
+    }
+    if (s.queueDepth <= 0) {
+        // Nothing owed: an idle service is not a stalled one.
+        lastProgressAt_ = nowSeconds;
+        reported_ = false;
+        return std::nullopt;
+    }
+    if (reported_ || nowSeconds - lastProgressAt_ < threshold_) {
+        return std::nullopt;
+    }
+    reported_ = true;
+    StallReport r;
+    r.kind = s.activeWorkers > 0 ? StallReport::Kind::kStuckDrain
+                                 : StallReport::Kind::kIdleQueue;
+    r.stalledSeconds = nowSeconds - lastProgressAt_;
+    r.queueDepth = s.queueDepth;
+    r.completed = s.completed;
+    r.batches = s.batches;
+    r.activeWorkers = s.activeWorkers;
+    return r;
+}
+
+void
+StallWatchdog::start(double pollSeconds,
+                     std::function<void(const StallReport &)> onStall)
+{
+    mouse_assert(!running_.load(), "watchdog already started");
+    running_.store(true);
+    poller_ = std::thread([this, pollSeconds,
+                           cb = std::move(onStall)]() {
+        while (running_.load(std::memory_order_relaxed)) {
+            if (const auto r = check(hub_.now())) {
+                hub_.recordStallWarning();
+                if (cb) {
+                    cb(*r);
+                }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(pollSeconds));
+        }
+    });
+}
+
+void
+StallWatchdog::stop()
+{
+    if (running_.exchange(false) && poller_.joinable()) {
+        poller_.join();
+    }
+}
+
+} // namespace mouse::obs

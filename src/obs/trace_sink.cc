@@ -43,7 +43,8 @@ TraceSink::push(TraceEvent e)
 
 void
 TraceSink::complete(const char *name, const char *cat, double tsS,
-                    double durS, std::string args)
+                    double durS, std::string args,
+                    std::uint32_t pid, std::uint32_t tid)
 {
     TraceEvent e;
     e.name = name;
@@ -51,19 +52,24 @@ TraceSink::complete(const char *name, const char *cat, double tsS,
     e.phase = 'X';
     e.tsUs = tsS * 1e6;
     e.durUs = durS * 1e6;
+    e.pid = pid;
+    e.tid = tid;
     e.args = std::move(args);
     push(std::move(e));
 }
 
 void
 TraceSink::instant(const char *name, const char *cat, double tsS,
-                   std::string args)
+                   std::string args, std::uint32_t pid,
+                   std::uint32_t tid)
 {
     TraceEvent e;
     e.name = name;
     e.cat = cat;
     e.phase = 'i';
     e.tsUs = tsS * 1e6;
+    e.pid = pid;
+    e.tid = tid;
     e.args = std::move(args);
     push(std::move(e));
 }
@@ -112,6 +118,29 @@ TraceSink::mergeFrom(const TraceSink &other, std::uint32_t pid)
         }
         samples_.push_back(s);
         samples_.back().pid = pid;
+    }
+    droppedEvents_ += other.droppedEvents_;
+    droppedSamples_ += other.droppedSamples_;
+}
+
+void
+TraceSink::appendFrom(const TraceSink &other)
+{
+    events_.reserve(events_.size() + other.events_.size());
+    for (const TraceEvent &e : other.events_) {
+        if (events_.size() >= maxEvents_) {
+            ++droppedEvents_;
+            continue;
+        }
+        events_.push_back(e);
+    }
+    samples_.reserve(samples_.size() + other.samples_.size());
+    for (const WaveformSample &s : other.samples_) {
+        if (samples_.size() >= maxSamples_) {
+            ++droppedSamples_;
+            continue;
+        }
+        samples_.push_back(s);
     }
     droppedEvents_ += other.droppedEvents_;
     droppedSamples_ += other.droppedSamples_;

@@ -71,13 +71,19 @@ class TraceSink
     explicit TraceSink(std::size_t maxEvents = 0,
                        std::size_t maxSamples = 0);
 
-    /** Record a complete ('X') event spanning [tsS, tsS + durS]. */
+    /**
+     * Record a complete ('X') event spanning [tsS, tsS + durS].
+     * @p pid / @p tid pick the Perfetto track (the serving layer
+     * uses pid = batch row, tid = slot lane; one-off runs leave 0).
+     */
     void complete(const char *name, const char *cat, double tsS,
-                  double durS, std::string args = "");
+                  double durS, std::string args = "",
+                  std::uint32_t pid = 0, std::uint32_t tid = 0);
 
     /** Record an instant ('i') event at @p tsS. */
     void instant(const char *name, const char *cat, double tsS,
-                 std::string args = "");
+                 std::string args = "", std::uint32_t pid = 0,
+                 std::uint32_t tid = 0);
 
     /** Record a counter ('C') series value at @p tsS. */
     void counter(const char *name, const char *cat, double tsS,
@@ -110,6 +116,14 @@ class TraceSink
      * deterministic regardless of worker-thread count.
      */
     void mergeFrom(const TraceSink &other, std::uint32_t pid);
+
+    /**
+     * Append @p other's events and samples with their pid/tid tags
+     * preserved — for sinks that already laid out their own tracks
+     * (per-request serving spans), where mergeFrom()'s re-tagging
+     * would collapse them onto one row.
+     */
+    void appendFrom(const TraceSink &other);
 
     /**
      * Chrome trace JSON: {"traceEvents":[...]}.  The waveform is

@@ -40,7 +40,8 @@ percentileOf(std::vector<double> v, double q)
 
 InferenceService::InferenceService(const ServiceConfig &cfg)
     : cfg_(cfg),
-      lib_(makeDeviceConfig(cfg.engine.tech), cfg.engine.gateMargin)
+      lib_(makeDeviceConfig(cfg.engine.tech), cfg.engine.gateMargin),
+      epoch_(std::chrono::steady_clock::now())
 {
     mouse_assert(cfg_.workers >= 1, "service needs >= 1 worker");
 }
@@ -94,6 +95,9 @@ InferenceService::submit(ModelId model, Input in)
     req.submitted = std::chrono::steady_clock::now();
     results_.emplace_back();
     open_[model].push_back(std::move(req));
+    if (metrics_ != nullptr) {
+        metrics_->recordSubmit();
+    }
     if (open_[model].size() >= batchCapacity(m)) {
         cutBatch(model);
     }
@@ -113,6 +117,19 @@ InferenceService::cutBatch(ModelId model)
     open_[model].clear();
     ready_.push_back(std::move(b));
     records_.emplace_back();
+    traces_.emplace_back(
+        tracing_ ? std::make_unique<obs::TraceSink>() : nullptr);
+    if (tracing_) {
+        const Batch &cut = ready_.back();
+        formationTrace_.instant(
+            "batch_cut", "serve",
+            hostSince(std::chrono::steady_clock::now()),
+            "{\"batch\":" + std::to_string(cut.id) +
+                ",\"model\":\"" +
+                jsonEscape(models_[model].name()) +
+                "\",\"size\":" + std::to_string(cut.reqs.size()) +
+                "}");
+    }
 }
 
 void
@@ -139,9 +156,17 @@ InferenceService::pendingRequests() const
 }
 
 void
-InferenceService::runBatch(Engine &eng, const Batch &batch)
+InferenceService::runBatch(Engine &eng, unsigned engineIdx,
+                           const Batch &batch)
 {
     const PackedModel &m = models_[batch.model];
+    // Span sink for this batch (null when tracing is off); only the
+    // worker that claimed the batch writes it, like records_.
+    obs::TraceSink *ts = traces_[batch.id].get();
+    const double t0 =
+        ts != nullptr
+            ? hostSince(std::chrono::steady_clock::now())
+            : 0.0;
     if (eng.loaded != static_cast<std::int64_t>(batch.model)) {
         eng.acc.loadProgram(m.program());
         m.deployWeights(eng.acc.grid());
@@ -150,6 +175,10 @@ InferenceService::runBatch(Engine &eng, const Batch &batch)
         // Same deployed program: just rewind the PC protocol.
         eng.acc.controller().reset();
     }
+    const double tDeploy =
+        ts != nullptr
+            ? hostSince(std::chrono::steady_clock::now())
+            : 0.0;
     const unsigned size = static_cast<unsigned>(batch.reqs.size());
     for (unsigned s = 0; s < size; ++s) {
         m.packInput(eng.acc.grid(), s, batch.reqs[s].in);
@@ -157,11 +186,23 @@ InferenceService::runBatch(Engine &eng, const Batch &batch)
     for (unsigned s = size; s < m.slots(); ++s) {
         m.clearInput(eng.acc.grid(), s);
     }
+    const double tPack =
+        ts != nullptr
+            ? hostSince(std::chrono::steady_clock::now())
+            : 0.0;
 
-    const RequestHandle h = eng.acc.submit(
-        RunRequestBuilder().label(m.name()).build());
+    RunRequestBuilder rb;
+    rb.label(m.name());
+    if (cfg_.harvested) {
+        rb.harvested(cfg_.harvest);
+    }
+    const RequestHandle h = eng.acc.submit(rb.build());
     RunResult res = eng.acc.wait(h);
     mouse_assert(res.ok(), "serve batch run rejected");
+    const double tSim =
+        ts != nullptr
+            ? hostSince(std::chrono::steady_clock::now())
+            : 0.0;
 
     BatchRecord rec;
     rec.model = batch.model;
@@ -188,6 +229,72 @@ InferenceService::runBatch(Engine &eng, const Batch &batch)
                 .count();
         results_[req.id] = std::move(r);
     }
+
+    if (metrics_ != nullptr) {
+        metrics_->recordBatch(size, m.slots(), rec.simSeconds,
+                              rec.energy, res.stats.chargingTime,
+                              res.stats.outages);
+        for (unsigned s = 0; s < size; ++s) {
+            metrics_->recordDone(
+                results_[batch.reqs[s].id].hostSeconds,
+                rec.simSeconds);
+        }
+    }
+    if (ts != nullptr) {
+        const double tEnd =
+            hostSince(std::chrono::steady_clock::now());
+        const std::uint32_t pool = 0;
+        const std::string bArgs =
+            "{\"batch\":" + std::to_string(batch.id) +
+            ",\"model\":\"" + jsonEscape(m.name()) +
+            "\",\"size\":" + std::to_string(size) + "}";
+        ts->complete("batch", "serve", t0, tEnd - t0, bArgs, pool,
+                     engineIdx);
+        ts->complete("deploy", "serve", t0, tDeploy - t0, "", pool,
+                     engineIdx);
+        ts->complete("pack", "serve", tDeploy, tPack - tDeploy, "",
+                     pool, engineIdx);
+        ts->complete("sim", "serve", tPack, tSim - tPack,
+                     "{\"sim_s\":" + num(rec.simSeconds) + "}",
+                     pool, engineIdx);
+        ts->complete("readout", "serve", tSim, tEnd - tSim, "",
+                     pool, engineIdx);
+        // Brownout attribution: the share of the pass's simulated
+        // time spent powered off, projected onto the host-time sim
+        // span so Perfetto shows queueing, compute and outage loss
+        // side by side on one timeline.
+        if (res.stats.chargingTime > 0.0 &&
+            res.stats.totalTime() > 0.0) {
+            const double frac =
+                res.stats.chargingTime / res.stats.totalTime();
+            ts->complete(
+                "outage_stall", "stall", tPack,
+                (tSim - tPack) * frac,
+                "{\"outages\":" +
+                    std::to_string(res.stats.outages) +
+                    ",\"charging_s\":" +
+                    num(res.stats.chargingTime) + "}",
+                pool, engineIdx);
+        }
+        // Per-request rows: pid = 1 + batch id, tid = slot.
+        const std::uint32_t row =
+            1 + static_cast<std::uint32_t>(batch.id);
+        for (unsigned s = 0; s < size; ++s) {
+            const PendingReq &req = batch.reqs[s];
+            const ClassifyResult &r = results_[req.id];
+            const double tSubmit = hostSince(req.submitted);
+            ts->complete(
+                "request", "serve", tSubmit, r.hostSeconds,
+                "{\"req\":" + std::to_string(req.id) +
+                    ",\"batch\":" + std::to_string(batch.id) +
+                    ",\"slot\":" + std::to_string(s) +
+                    ",\"predicted\":" +
+                    std::to_string(r.predicted) + "}",
+                row, s);
+            ts->complete("queued", "serve", tSubmit, t0 - tSubmit,
+                         "", row, s);
+        }
+    }
 }
 
 double
@@ -211,14 +318,28 @@ InferenceService::drain()
     // because identical engines compute identical records for a
     // batch regardless of which one claims it.
     std::atomic<std::size_t> next{first};
+    std::atomic<std::size_t> done{0};
     auto work = [&](unsigned engineIdx) {
+        if (metrics_ != nullptr) {
+            metrics_->workerActive(+1);
+        }
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= ready_.size()) {
                 break;
             }
-            runBatch(*engines_[engineIdx], ready_[i]);
+            runBatch(*engines_[engineIdx], engineIdx, ready_[i]);
+            const std::size_t n =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress_) {
+                const std::lock_guard<std::mutex> lock(
+                    progressMutex_);
+                progress_(n, count);
+            }
+        }
+        if (metrics_ != nullptr) {
+            metrics_->workerActive(-1);
         }
     };
     if (nThreads == 1) {
@@ -243,6 +364,22 @@ InferenceService::drain()
             .count();
     drainSeconds_ += secs;
     return secs;
+}
+
+obs::TraceSink
+InferenceService::requestTrace() const
+{
+    obs::TraceSink out;
+    out.appendFrom(formationTrace_);
+    // Batch-id order, matching the stats() fold discipline; sinks
+    // already carry their own pid/tid track layout, so appendFrom()
+    // (not mergeFrom()) keeps the rows apart.
+    for (const auto &t : traces_) {
+        if (t != nullptr) {
+            out.appendFrom(*t);
+        }
+    }
+    return out;
 }
 
 const ClassifyResult &

@@ -37,11 +37,15 @@
 #define MOUSE_SERVE_SERVICE_HH
 
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/accelerator.hh"
+#include "obs/metrics_hub.hh"
 #include "obs/stat_registry.hh"
+#include "obs/trace_sink.hh"
 #include "serve/models.hh"
 
 namespace mouse::serve
@@ -61,6 +65,16 @@ struct ServiceConfig
     /** Cap on requests per batch; 0 means one full pass (all
      *  column slots). */
     unsigned maxBatch = 0;
+    /**
+     * Run every pass under the energy-harvesting simulator instead
+     * of wall power (the ROADMAP's harvested-power serving mode).
+     * Determinism is preserved: a harvested pass is still a pure
+     * function of (program, weights, batch contents, harvest), so
+     * stats() stays byte-identical across worker counts.
+     */
+    bool harvested = false;
+    /** Harvesting environment; only read when harvested. */
+    HarvestConfig harvest{};
 };
 
 /** Completed classification (schema v4 serve fields). */
@@ -136,6 +150,52 @@ class InferenceService
      *  percentiles, plus the deterministic stat registry. */
     std::string reportJson() const;
 
+    // -- Live observability (docs/OBSERVABILITY.md) -----------------
+    //
+    // All of it is observational: metrics publishing, span tracing
+    // and progress reporting never feed back into batch composition,
+    // results, stats() or reportJson(), so those stay byte-identical
+    // with observability on or off.
+
+    /**
+     * Attach a live-metrics hub: submit/drain publish admission,
+     * batch, completion-latency and worker-activity samples into it.
+     * Null detaches.  The hub must outlive the service (or be
+     * detached first).
+     */
+    void setMetrics(obs::MetricsHub *hub) { metrics_ = hub; }
+
+    /**
+     * Record per-request lifecycle spans (host timeline, anchored at
+     * service construction).  Toggle before submitting; see
+     * requestTrace() for the span taxonomy.
+     */
+    void setTracing(bool on) { tracing_ = on; }
+    bool tracing() const { return tracing_; }
+
+    /**
+     * The collected request spans as one Chrome-trace sink, composed
+     * in batch-id order.  Tracks: pid 0 is the engine pool (one tid
+     * per worker, "batch"/"deploy"/"pack"/"sim"/"readout" phases and
+     * the host-attributed "outage_stall" span); pid 1+batchId is the
+     * batch's request row (one tid per slot, a "request" span
+     * covering admission -> completion with a nested "queued" span);
+     * "batch_cut" instants mark batch formation.
+     */
+    obs::TraceSink requestTrace() const;
+
+    /**
+     * Progress callback, fired after every batch a drain() retires
+     * as (batches done, batches total) for that drain.  Invoked from
+     * worker threads under an internal mutex; keep it cheap.
+     */
+    void
+    setProgress(
+        std::function<void(std::size_t, std::size_t)> cb)
+    {
+        progress_ = std::move(cb);
+    }
+
   private:
     struct PendingReq
     {
@@ -172,8 +232,16 @@ class InferenceService
     };
 
     void cutBatch(ModelId model);
-    void runBatch(Engine &eng, const Batch &batch);
+    void runBatch(Engine &eng, unsigned engineIdx,
+                  const Batch &batch);
     unsigned batchCapacity(const PackedModel &m) const;
+
+    /** Host seconds since construction (the span timeline). */
+    double
+    hostSince(std::chrono::steady_clock::time_point tp) const
+    {
+        return std::chrono::duration<double>(tp - epoch_).count();
+    }
 
     ServiceConfig cfg_;
     /** Library used to compile models (engines solve their own,
@@ -191,6 +259,18 @@ class InferenceService
     RequestId nextRequest_ = 0;
     std::size_t completedRequests_ = 0;
     double drainSeconds_ = 0.0;
+
+    // Observability (never read by the deterministic paths).
+    std::chrono::steady_clock::time_point epoch_;
+    obs::MetricsHub *metrics_ = nullptr;
+    bool tracing_ = false;
+    /** Per-batch span sinks, indexed by batch id like records_:
+     *  each worker writes only its claimed batches' cells. */
+    std::vector<std::unique_ptr<obs::TraceSink>> traces_;
+    /** Main-thread-only sink for batch-formation instants. */
+    obs::TraceSink formationTrace_;
+    std::function<void(std::size_t, std::size_t)> progress_;
+    std::mutex progressMutex_;
 };
 
 } // namespace mouse::serve

@@ -175,6 +175,12 @@ class SimProbe
         if (wantsEvents() && offSince_ >= 0.0) {
             sink_->complete("outage", "power", offSince_,
                             t - offSince_);
+            // Same interval under the "stall" category: live-metrics
+            // consumers attribute brownout time separately from
+            // compute and queueing without re-deriving it from the
+            // power track (docs/OBSERVABILITY.md span taxonomy).
+            sink_->complete("outage_stall", "stall", offSince_,
+                            t - offSince_);
             sink_->instant("power_on", "power", t);
             sink_->counter("power_state", "power", t, 1.0);
         }

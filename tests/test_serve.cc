@@ -292,5 +292,174 @@ TEST(Serve, ReportJsonCarriesSchemaV4ServeBlock)
     EXPECT_NE(j.find("\"stat_registry\":"), std::string::npos);
 }
 
+TEST(Serve, ObservabilityDoesNotPerturbDeterministicOutputs)
+{
+    Rng modelRng(41);
+    const BnnServeModel bnnModel = randomBnn(modelRng);
+    const SvmServeModel svmModel = randomSvm(modelRng);
+
+    auto run = [&](unsigned workers, bool observed) {
+        auto svc = std::make_unique<InferenceService>(
+            smallConfig(workers));
+        auto hub = std::make_unique<obs::MetricsHub>();
+        if (observed) {
+            svc->setMetrics(hub.get());
+            svc->setTracing(true);
+        }
+        const ModelId bnn = svc->addModel(bnnModel);
+        const ModelId svm = svc->addModel(svmModel);
+        const Workload w = makeWorkload(*svc, bnn, svm, 30, 555);
+        submitAll(*svc, w);
+        svc->drain();
+        svc->setMetrics(nullptr);
+        return svc;
+    };
+    const auto plain = run(1, false);
+    const auto observed1 = run(1, true);
+    const auto observed4 = run(4, true);
+
+    // Metrics publishing and span tracing are observational: the
+    // folded registry stays byte-identical with them on or off, and
+    // across worker counts with them on.
+    EXPECT_EQ(plain->stats()->toJson(), observed1->stats()->toJson());
+    EXPECT_EQ(plain->stats()->toJson(), observed4->stats()->toJson());
+    for (RequestId id = 0; id < 30; ++id) {
+        const ClassifyResult &a = plain->result(id);
+        const ClassifyResult &b = observed4->result(id);
+        EXPECT_EQ(a.predicted, b.predicted) << "request " << id;
+        EXPECT_EQ(a.batchId, b.batchId) << "request " << id;
+        EXPECT_EQ(a.slot, b.slot) << "request " << id;
+        EXPECT_EQ(a.simSeconds, b.simSeconds) << "request " << id;
+        EXPECT_EQ(a.energy, b.energy) << "request " << id;
+    }
+}
+
+TEST(Serve, MetricsHubSeesTheWholeServingLifecycle)
+{
+    Rng modelRng(47);
+    obs::MetricsHub hub;
+    InferenceService svc(smallConfig(2));
+    svc.setMetrics(&hub);
+    const ModelId bnn = svc.addModel(randomBnn(modelRng));
+    Rng rng(12);
+    for (unsigned i = 0; i < 10; ++i) {
+        svc.submit(bnn, randomInput(rng, svc.model(bnn), 1));
+    }
+    {
+        const obs::MetricsSnapshot s = hub.snapshot();
+        EXPECT_EQ(s.submitted, 10u);
+        EXPECT_EQ(s.queueDepth, 10);
+        EXPECT_EQ(s.completed, 0u);
+    }
+    svc.drain();
+    svc.setMetrics(nullptr);
+    const obs::MetricsSnapshot s = hub.snapshot();
+    EXPECT_EQ(s.submitted, 10u);
+    EXPECT_EQ(s.completed, 10u);
+    EXPECT_EQ(s.queueDepth, 0);
+    EXPECT_EQ(s.batches, svc.batchesRun());
+    EXPECT_EQ(s.activeWorkers, 0u);
+    EXPECT_GT(s.simSeconds, 0.0);
+    EXPECT_GT(s.energyJoules, 0.0);
+    EXPECT_EQ(s.hostLatency.count, 10u);
+    EXPECT_GT(s.hostLatency.p50, 0.0);
+}
+
+TEST(Serve, RequestSpansCoverHostLatency)
+{
+    Rng modelRng(53);
+    InferenceService svc(smallConfig(2));
+    svc.setTracing(true);
+    const ModelId bnn = svc.addModel(randomBnn(modelRng));
+    const ModelId svm = svc.addModel(randomSvm(modelRng));
+    const Workload w = makeWorkload(svc, bnn, svm, 16, 909);
+    submitAll(svc, w);
+    svc.drain();
+
+    const obs::TraceSink trace = svc.requestTrace();
+    ASSERT_FALSE(trace.events().empty());
+
+    // Every batch phase appears, plus formation instants.
+    for (const char *name :
+         {"batch", "deploy", "pack", "sim", "readout", "batch_cut",
+          "request", "queued"}) {
+        bool found = false;
+        for (const auto &e : trace.events()) {
+            found |= e.name == name;
+        }
+        EXPECT_TRUE(found) << name;
+    }
+
+    // The acceptance bar: each request's span covers >= 99% of its
+    // admission-to-completion host wall-clock.  (They are computed
+    // from the same timestamps, so coverage is exact.)
+    for (RequestId id = 0; id < 16; ++id) {
+        const ClassifyResult &r = svc.result(id);
+        const std::uint32_t pid =
+            static_cast<std::uint32_t>(1 + r.batchId);
+        bool found = false;
+        for (const auto &e : trace.events()) {
+            if (e.name != "request" || e.pid != pid ||
+                e.tid != r.slot) {
+                continue;
+            }
+            found = true;
+            EXPECT_GE(e.durUs, 0.99 * r.hostSeconds * 1e6)
+                << "request " << id;
+            EXPECT_LE(e.durUs, 1.01 * r.hostSeconds * 1e6 + 1.0)
+                << "request " << id;
+        }
+        EXPECT_TRUE(found) << "request " << id;
+    }
+}
+
+TEST(Serve, HarvestedServingAttributesOutageStalls)
+{
+    Rng modelRng(61);
+    const BnnServeModel bnnModel = randomBnn(modelRng);
+    ServiceConfig cfg = smallConfig(1);
+    cfg.harvested = true;
+    // Weak harvester + tiny buffer capacitor: each pass browns out
+    // repeatedly (the burst covers only a handful of instructions).
+    cfg.harvest.sourcePower = 1e-6;
+    cfg.harvest.capacitanceOverride = 2e-10;
+    obs::MetricsHub hub;
+    InferenceService svc(cfg);
+    svc.setMetrics(&hub);
+    svc.setTracing(true);
+    const ModelId bnn = svc.addModel(bnnModel);
+    Rng rng(6);
+    for (unsigned i = 0; i < 4; ++i) {
+        svc.submit(bnn, randomInput(rng, svc.model(bnn), 1));
+    }
+    svc.drain();
+    svc.setMetrics(nullptr);
+
+    const obs::MetricsSnapshot s = hub.snapshot();
+    EXPECT_EQ(s.completed, 4u);
+    EXPECT_GT(s.outages, 0u);
+    EXPECT_GT(s.outageStallSeconds, 0.0);
+    EXPECT_GT(s.windowOutageStallSeconds, 0.0);
+
+    // The span stream separates brownout time from compute time.
+    const obs::TraceSink trace = svc.requestTrace();
+    bool sawStall = false;
+    for (const auto &e : trace.events()) {
+        sawStall |= e.name == "outage_stall";
+    }
+    EXPECT_TRUE(sawStall);
+
+    // Harvested passes are still deterministic: a second identical
+    // service folds the identical registry.
+    InferenceService again(cfg);
+    const ModelId bnn2 = again.addModel(bnnModel);
+    Rng rng2(6);
+    for (unsigned i = 0; i < 4; ++i) {
+        again.submit(bnn2, randomInput(rng2, again.model(bnn2), 1));
+    }
+    again.drain();
+    EXPECT_EQ(svc.stats()->toJson(), again.stats()->toJson());
+}
+
 } // namespace
 } // namespace mouse::serve

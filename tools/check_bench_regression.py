@@ -14,24 +14,72 @@ benchmark whose items/sec must clear a fixed acceptance threshold
 (e.g. the serving bench's 1e5 classifications/sec target), checked
 against the fresh run only.
 
+The BASELINE argument names the undated committed baseline
+(e.g. bench/baselines/BENCH_sim_throughput.json).  Each merge also
+appends a dated sibling (BENCH_sim_throughput_YYYY-MM-DD.json); when
+any exist, the lexicographically-latest dated file is compared
+instead (ISO dates sort correctly), so the gate always tracks the
+most recent merge without rewriting CI invocations.
+
 Usage:
   check_bench_regression.py NEW.json BASELINE.json \
       --bench BM_TileGateExecution/1024 --max-regress 0.20 \
       --ratio BM_TileGateExecution/1024:BM_TileGateExecutionScalar/1024 \
       --min-ratio 10 \
       --min-items 'BM_ServeSaturation/bnn/16384:1e5'
+
+Exit codes: 0 all gates pass, 1 a gate failed, 2 a report file is
+missing or malformed.
 """
 
 import argparse
 import json
+import os
+import re
 import sys
 
 
+def fail_usage(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def resolve_baseline(path):
+    """Pick the latest dated sibling of the undated baseline PATH.
+
+    BENCH_foo.json resolves to the greatest BENCH_foo_YYYY-MM-DD.json
+    in the same directory when any exist (ISO dates compare correctly
+    as strings), else to PATH itself.
+    """
+    directory = os.path.dirname(path) or "."
+    stem = os.path.basename(path)
+    if not stem.endswith(".json"):
+        return path
+    pattern = re.compile(
+        re.escape(stem[: -len(".json")]) + r"_\d{4}-\d{2}-\d{2}\.json")
+    try:
+        dated = sorted(
+            f for f in os.listdir(directory) if pattern.fullmatch(f))
+    except OSError:
+        return path  # load_items_per_second reports the clear error
+    return os.path.join(directory, dated[-1]) if dated else path
+
+
 def load_items_per_second(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail_usage(f"cannot read benchmark report '{path}':"
+                   f" {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        fail_usage(f"'{path}' is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("benchmarks"), list):
+        fail_usage(f"'{path}' has no 'benchmarks' array (not a"
+                   " google-benchmark JSON report)")
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
         if "items_per_second" in bench:
             out[bench["name"]] = bench["items_per_second"]
     return out
@@ -59,8 +107,12 @@ def main():
                          " acceptance gate; repeatable)")
     args = ap.parse_args()
 
+    baseline = resolve_baseline(args.baseline)
+    if baseline != args.baseline:
+        print(f"baseline: {baseline} (latest dated entry for"
+              f" {args.baseline})")
     new = load_items_per_second(args.new)
-    base = load_items_per_second(args.baseline)
+    base = load_items_per_second(baseline)
     failed = False
 
     for name in args.bench:
@@ -70,7 +122,7 @@ def main():
             continue
         if name not in base:
             print(f"FAIL: {name} missing from baseline"
-                  f" {args.baseline}")
+                  f" {baseline}")
             failed = True
             continue
         floor = base[name] * (1.0 - args.max_regress)
