@@ -23,6 +23,7 @@
 
 #include <memory>
 
+#include "common/schema_versions.hh"
 #include "compile/program.hh"
 #include "obs/telemetry.hh"
 #include "sim/simulator.hh"
@@ -234,10 +235,11 @@ struct RunResult
 
 /** Version of every JSON document this API emits (RunResult,
  *  SweepResult, the injection reports of src/inject, and the serve
- *  reports of src/serve).  Schema 3 added the "error" field rejected
- *  requests carry; schema 4 added the optional "serve" batch/queue
- *  block and the serve-report document (docs/SERVING.md). */
-constexpr int kResultSchemaVersion = 4;
+ *  reports of src/serve).  The canonical definition — and the bump
+ *  history — lives in common/schema_versions.hh alongside every
+ *  other document version; this alias keeps the existing spelling
+ *  working for the emitters. */
+using schema::kResultSchemaVersion;
 
 /** JSON object for a RunStats (used by RunResult::toJson). */
 std::string toJson(const RunStats &stats);

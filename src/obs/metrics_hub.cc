@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/schema_versions.hh"
 
 namespace mouse::obs
 {
@@ -394,7 +395,8 @@ MetricsHub::snapshot() const
 std::string
 MetricsSnapshot::toJson() const
 {
-    std::string j = "{\"metrics_schema\":1";
+    std::string j = "{\"metrics_schema\":" +
+                    std::to_string(schema::kMetricsSchemaVersion);
     j += ",\"uptime_s\":" + num(uptimeSeconds);
     j += ",\"window_s\":" + num(windowSeconds);
     j += ",\"lifetime\":{";
@@ -549,7 +551,8 @@ MetricsSnapshot::fromJson(const std::string &text)
 {
     std::size_t pos = 0;
     double v = 0.0;
-    if (!scanNumber(text, "metrics_schema", pos, v) || v != 1.0) {
+    if (!scanNumber(text, "metrics_schema", pos, v) ||
+        v != schema::kMetricsSchemaVersion) {
         return std::nullopt;
     }
     MetricsSnapshot s;

@@ -1,0 +1,31 @@
+// Fixture: schema versions inlined at the emitter — both the literal
+// digit in the string and the emitter that versions through a plain
+// variable must be flagged by schema-constants.
+#include <string>
+
+std::string
+emitInlineDigit()
+{
+    std::string j = "{\"schema\":4"; // finding: inline number
+    j += "}";
+    return j;
+}
+
+std::string
+emitThroughVariable(int version)
+{
+    std::string j =
+        "{\"report_schema\":" + std::to_string(version); // finding
+    j += "}";
+    return j;
+}
+
+bool scanNumber(const std::string &text, const char *key, double *v);
+
+bool
+checkAgainstLiteral(const std::string &text)
+{
+    double v = 0.0;
+    return scanNumber(text, "metrics_schema", &v) &&
+           v == 1.0; // finding: compare against the constant instead
+}

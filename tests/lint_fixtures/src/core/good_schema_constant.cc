@@ -1,0 +1,27 @@
+// Fixture: emitters and checks that reference the centralized
+// constants lint clean.
+#include <string>
+
+namespace mouse::schema {
+inline constexpr int kResultSchemaVersion = 4;
+inline constexpr int kMetricsSchemaVersion = 1;
+} // namespace mouse::schema
+
+std::string
+emit()
+{
+    std::string j = "{\"schema\":" +
+                    std::to_string(mouse::schema::kResultSchemaVersion);
+    j += "}";
+    return j;
+}
+
+bool scanNumber(const std::string &text, const char *key, double *v);
+
+bool
+check(const std::string &text)
+{
+    double v = 0.0;
+    return scanNumber(text, "metrics_schema", &v) &&
+           v == mouse::schema::kMetricsSchemaVersion;
+}

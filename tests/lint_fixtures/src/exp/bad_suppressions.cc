@@ -1,0 +1,23 @@
+// Fixture: malformed suppressions.  An allow() without a
+// justification keeps the original finding AND adds a
+// [suppression] finding; an allow() naming an unknown rule and an
+// allow() covering nothing are each their own finding.
+#include <string>
+#include <unordered_map>
+
+double
+foldNoReason(const std::unordered_map<std::string, double> &m)
+{
+    double sum = 0.0;
+    // mouse-lint: allow(unordered-iteration)
+    for (const auto &kv : m) { // finding survives: no justification
+        sum += kv.second;
+    }
+    return sum;
+}
+
+// mouse-lint: allow(made-up-rule) -- not a rule          (finding)
+int unknownRule = 0;
+
+// mouse-lint: allow(host-clock) -- nothing to suppress   (finding)
+int unusedAllow = 0;

@@ -1,0 +1,26 @@
+// Fixture: iteration over unordered containers in an order-sensitive
+// subsystem.  Both the range-for and the explicit iterator must be
+// flagged by unordered-iteration.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double
+foldStats(const std::unordered_map<std::string, double> &byName)
+{
+    double sum = 0.0;
+    for (const auto &kv : byName) { // finding: range-for
+        sum += kv.second;
+    }
+    return sum;
+}
+
+std::size_t
+walkSet(const std::unordered_set<int> &seen)
+{
+    std::size_t n = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it) { // finding
+        ++n;
+    }
+    return n;
+}

@@ -1,0 +1,21 @@
+// Fixture: membership queries and point lookups on unordered
+// containers are fine — only iteration leaks hash order.
+#include <cstdint>
+#include <unordered_set>
+
+bool
+hazard(const std::unordered_set<std::uint64_t> &windowReads,
+       std::uint64_t row)
+{
+    return windowReads.count(row) != 0;
+}
+
+void
+record(std::unordered_set<std::uint64_t> &windowReads,
+       std::uint64_t row)
+{
+    windowReads.insert(row);
+    if (windowReads.size() > 4096) {
+        windowReads.clear();
+    }
+}

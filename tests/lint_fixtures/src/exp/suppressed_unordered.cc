@@ -1,0 +1,16 @@
+// Fixture: a justified allow() turns the finding into a suppression
+// (reported in the JSON "suppressed" list, not "findings").
+#include <string>
+#include <unordered_map>
+
+std::size_t
+countLong(const std::unordered_map<std::string, int> &m)
+{
+    std::size_t n = 0;
+    // mouse-lint: allow(unordered-iteration) -- order-independent
+    // count; no value, stat or JSON document depends on visit order.
+    for (const auto &kv : m) {
+        n += kv.first.size() > 8 ? 1 : 0;
+    }
+    return n;
+}

@@ -1,0 +1,17 @@
+// Fixture: floating-point folds through <numeric> algorithms in an
+// order-sensitive subsystem — container-order association breaks
+// cross-thread-count bit-identity.
+#include <numeric>
+#include <vector>
+
+double
+sumLatencies(const std::vector<double> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0); // finding
+}
+
+double
+sumEnergies(const std::vector<float> &v)
+{
+    return std::reduce(v.begin(), v.end(), 0.0f); // finding
+}

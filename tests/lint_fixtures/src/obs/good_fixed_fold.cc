@@ -1,0 +1,21 @@
+// Fixture: integer accumulation and explicit index-ordered FP folds
+// are the sanctioned shapes.
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+std::int64_t
+countEvents(const std::vector<std::int64_t> &v)
+{
+    return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+}
+
+double
+foldInIndexOrder(const std::vector<double> &perPoint)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < perPoint.size(); ++i) {
+        sum += perPoint[i];
+    }
+    return sum;
+}

@@ -1,0 +1,12 @@
+// Fixture: host-timing spans in src/serve may read the host clock
+// behind a justified allow(); the finding moves to "suppressed".
+#include <chrono>
+
+long
+hostTimestampForSpan()
+{
+    // mouse-lint: allow(host-clock) -- host-timeline span timestamp;
+    // never feeds simulated results or deterministic reports.
+    const auto wall = std::chrono::system_clock::now();
+    return wall.time_since_epoch().count();
+}

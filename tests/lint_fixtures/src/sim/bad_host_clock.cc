@@ -1,0 +1,17 @@
+// Fixture: every ambient-nondeterminism source must be flagged by
+// host-clock in simulated code paths.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double
+seedFromHost()
+{
+    auto wall = std::chrono::system_clock::now(); // finding
+    int r = rand();                               // finding
+    std::random_device rd;                        // finding
+    long t = time(nullptr);                       // finding
+    return static_cast<double>(r + t) + rd() +
+           wall.time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// Fixture: allow(host-clock) is refused outside src/obs and
+// src/serve — the original finding stays AND the misplaced allow is
+// its own finding.
+#include <ctime>
+
+long
+notATimingSpan()
+{
+    // mouse-lint: allow(host-clock) -- wall time for a log banner
+    return time(nullptr);
+}

@@ -1,0 +1,25 @@
+// Fixture: MOUSE_OBS_HOOK gates that run code even when telemetry is
+// off — a call expression and an allocating expression — must be
+// flagged by obs-hook-args.
+struct Probe {
+    void tick();
+};
+struct Telemetry {
+    Probe *probe;
+};
+#define MOUSE_OBS_HOOK(telem, stmt) \
+    do {                            \
+        if (telem) {                \
+            stmt;                   \
+        }                           \
+    } while (0)
+
+Telemetry *lookupTelemetry();
+
+void
+step(Telemetry *telem)
+{
+    MOUSE_OBS_HOOK(lookupTelemetry(), telem->probe->tick()); // finding
+    MOUSE_OBS_HOOK(telem && lookupTelemetry(),
+                   telem->probe->tick()); // finding
+}

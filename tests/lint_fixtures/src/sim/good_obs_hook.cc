@@ -1,0 +1,31 @@
+// Fixture: plain identifier / member-chain gates are the zero-cost
+// discipline; the gated statement itself may do anything.
+#include <memory>
+#include <string>
+
+struct Probe {
+    void note(const std::string &s);
+};
+struct Telemetry {
+    Probe *probe;
+};
+#define MOUSE_OBS_HOOK(telem, stmt) \
+    do {                            \
+        if (telem) {                \
+            stmt;                   \
+        }                           \
+    } while (0)
+
+struct Ctx {
+    Telemetry *telem;
+    std::shared_ptr<Telemetry> shared;
+};
+
+void
+step(Ctx &ctx, int n)
+{
+    MOUSE_OBS_HOOK(ctx.telem,
+                   ctx.telem->probe->note("step " + std::to_string(n)));
+    MOUSE_OBS_HOOK(ctx.shared.get(),
+                   ctx.shared->probe->note("shared"));
+}

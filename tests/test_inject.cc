@@ -306,6 +306,9 @@ TEST(Report, CarriesSchemaVersionAndVerdictTaxonomy)
     CampaignConfig cfg;
     cfg.fractions = {0.5};
     const std::string j = runCampaign(w, cfg).toJson();
+    // mouse-lint: allow(schema-constants) -- golden pin: the test
+    // hardcodes the published version on purpose, so an accidental
+    // bump of the central constant fails here.
     EXPECT_NE(j.find("\"schema\":4"), std::string::npos);
     EXPECT_NE(j.find("\"workload\":\"gates\""), std::string::npos);
     EXPECT_NE(j.find("\"verdicts\":{\"match\":"), std::string::npos);

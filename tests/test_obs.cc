@@ -591,6 +591,9 @@ TEST(MetricsHub, SnapshotJsonRoundTrips)
     const obs::MetricsSnapshot s = hub.snapshot();
     const std::string j = s.toJson();
     EXPECT_TRUE(validJson(j)) << j;
+    // mouse-lint: allow(schema-constants) -- golden pin: the test
+    // hardcodes the published version on purpose, so an accidental
+    // bump of the central constant fails here.
     EXPECT_NE(j.find("\"metrics_schema\":1"), std::string::npos) << j;
 
     const std::optional<obs::MetricsSnapshot> r =

@@ -348,6 +348,9 @@ TEST(RunApi, ServeJsonBlockIsSchemaV4)
     acc.loadProgram(adderProgram(acc));
     const RunResult direct = acc.execute(RunRequest{});
     // Schema 4 everywhere; the serve block only on async results.
+    // mouse-lint: allow(schema-constants) -- golden pin: the test
+    // hardcodes the published version on purpose, so an accidental
+    // bump of the central constant fails here.
     EXPECT_NE(direct.toJson().find("\"schema\":4"),
               std::string::npos);
     EXPECT_EQ(direct.toJson().find("\"serve\":"),

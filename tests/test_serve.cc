@@ -283,6 +283,9 @@ TEST(Serve, ReportJsonCarriesSchemaV4ServeBlock)
     }
     svc.drain();
     const std::string j = svc.reportJson();
+    // mouse-lint: allow(schema-constants) -- golden pin: the test
+    // hardcodes the published version on purpose, so an accidental
+    // bump of the central constant fails here.
     EXPECT_NE(j.find("\"schema\":4"), std::string::npos);
     EXPECT_NE(j.find("\"serve_report\":"), std::string::npos);
     EXPECT_NE(j.find("\"requests\":6"), std::string::npos);

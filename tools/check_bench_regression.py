@@ -28,8 +28,11 @@ Usage:
       --min-ratio 10 \
       --min-items 'BM_ServeSaturation/bnn/16384:1e5'
 
+  check_bench_regression.py --list-baselines bench/baselines
+
 Exit codes: 0 all gates pass, 1 a gate failed, 2 a report file is
-missing or malformed.
+missing or malformed (the error names the directory searched, and
+--list-baselines shows what is actually committed there).
 """
 
 import argparse
@@ -65,13 +68,50 @@ def resolve_baseline(path):
     return os.path.join(directory, dated[-1]) if dated else path
 
 
+def list_baselines(path):
+    """Print every BENCH_*.json under PATH (a baseline directory, or
+    any file inside one), marking the entry resolve_baseline() would
+    pick for each undated stem."""
+    directory = path if os.path.isdir(path) else \
+        (os.path.dirname(path) or ".")
+    try:
+        names = sorted(f for f in os.listdir(directory)
+                       if f.endswith(".json"))
+    except OSError as e:
+        fail_usage(f"cannot list baseline directory '{directory}':"
+                   f" {e.strerror or e}")
+    if not names:
+        print(f"no baselines in {directory}")
+        return
+    undated = [n for n in names
+               if not re.search(r"_\d{4}-\d{2}-\d{2}\.json$", n)]
+    print(f"baselines in {directory}:")
+    for stem in undated:
+        selected = os.path.basename(
+            resolve_baseline(os.path.join(directory, stem)))
+        for name in names:
+            if name == stem or name.startswith(
+                    stem[: -len(".json")] + "_"):
+                mark = "  <- selected" if name == selected else ""
+                print(f"  {name}{mark}")
+    strays = [n for n in names
+              if not any(n == s or
+                         n.startswith(s[: -len(".json")] + "_")
+                         for s in undated)]
+    for name in strays:
+        print(f"  {name}  (no undated stem; never selected)")
+
+
 def load_items_per_second(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except OSError as e:
+        directory = os.path.dirname(path) or "."
         fail_usage(f"cannot read benchmark report '{path}':"
-                   f" {e.strerror or e}")
+                   f" {e.strerror or e} (searched {directory};"
+                   " run with --list-baselines to see what is"
+                   " committed there)")
     except json.JSONDecodeError as e:
         fail_usage(f"'{path}' is not valid JSON: {e}")
     if not isinstance(doc, dict) or not isinstance(
@@ -87,8 +127,15 @@ def load_items_per_second(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("new", help="fresh benchmark JSON report")
-    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("new", nargs="?",
+                    help="fresh benchmark JSON report")
+    ap.add_argument("baseline", nargs="?",
+                    help="committed baseline JSON")
+    ap.add_argument("--list-baselines", metavar="DIR",
+                    help="list the BENCH_*.json baselines in DIR (a"
+                         " directory, or any baseline path inside"
+                         " one), mark which dated entry each undated"
+                         " stem resolves to, and exit")
     ap.add_argument("--bench", action="append", default=[],
                     help="benchmark name to gate against the baseline"
                          " (repeatable)")
@@ -106,6 +153,13 @@ def main():
                          " fresh run must clear (machine-independent"
                          " acceptance gate; repeatable)")
     args = ap.parse_args()
+
+    if args.list_baselines:
+        list_baselines(args.list_baselines)
+        return 0
+    if not args.new or not args.baseline:
+        fail_usage("NEW.json and BASELINE.json are required unless"
+                   " --list-baselines is given")
 
     baseline = resolve_baseline(args.baseline)
     if baseline != args.baseline:

@@ -70,6 +70,7 @@
 #endif
 
 #include "common/rng.hh"
+#include "common/schema_versions.hh"
 #include "energy/area_model.hh"
 #include "exp/names.hh"
 #include "exp/runner.hh"
@@ -121,6 +122,42 @@ usage()
         "benchmarks: mnist mnist-bin har adult finn fpbnn\n"
         "inject workloads: see `mouse_cli list`\n");
     return 2;
+}
+
+/**
+ * Write BODY to PATH through a sibling ".tmp" file renamed into
+ * place, so a concurrent reader (live metrics scrapers, a tail -f on
+ * a --json-out) never sees a torn document.  Every snapshot-style
+ * output of the CLI funnels through here.
+ */
+bool
+atomicWriteFile(const std::string &path, const std::string &body)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
+    if (!fp) {
+        std::fprintf(stderr,
+                     "mouse_cli: cannot open '%s' for writing: %s\n",
+                     tmp.c_str(), std::strerror(errno));
+        return false;
+    }
+    const std::size_t put = std::fwrite(body.data(), 1, body.size(),
+                                        fp);
+    const bool flushed = std::fclose(fp) == 0 && put == body.size();
+    if (!flushed) {
+        std::fprintf(stderr, "mouse_cli: short write to '%s'\n",
+                     tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr,
+                     "mouse_cli: cannot rename '%s' to '%s': %s\n",
+                     tmp.c_str(), path.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 /** Parsed common flags. */
@@ -226,15 +263,17 @@ class OutputFile
         return fp_ != nullptr;
     }
 
+    /** Atomically replace the claimed file with BODY (the open()
+     *  probe only reserved the path). */
     void
     write(const std::string &body)
     {
         if (!fp_) {
             return;
         }
-        std::fwrite(body.data(), 1, body.size(), fp_);
         std::fclose(fp_);
         fp_ = nullptr;
+        atomicWriteFile(path_, body);
     }
 
     const std::string &
@@ -878,8 +917,8 @@ cmdMetricsSummary(const std::string &path)
         std::fprintf(stderr,
                      "mouse_cli: '%s' is not a metrics snapshot "
                      "(want the --metrics-out JSON document, "
-                     "metrics_schema 1)\n",
-                     path.c_str());
+                     "metrics_schema %d)\n",
+                     path.c_str(), schema::kMetricsSchemaVersion);
         return 2;
     }
     const obs::MetricsSnapshot &s = *snap;
@@ -1115,23 +1154,7 @@ writeMetricsSnapshot(const std::string &path,
     const std::string body = endsWith(".prom") || endsWith(".txt")
                                  ? snap.toPrometheus()
                                  : snap.toJson() + "\n";
-    const std::string tmp = path + ".tmp";
-    std::FILE *fp = std::fopen(tmp.c_str(), "wb");
-    if (!fp) {
-        std::fprintf(stderr,
-                     "mouse_cli: cannot open '%s' for writing: %s\n",
-                     tmp.c_str(), std::strerror(errno));
-        return false;
-    }
-    std::fwrite(body.data(), 1, body.size(), fp);
-    std::fclose(fp);
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::fprintf(stderr,
-                     "mouse_cli: cannot rename '%s' to '%s': %s\n",
-                     tmp.c_str(), path.c_str(), std::strerror(errno));
-        return false;
-    }
-    return true;
+    return atomicWriteFile(path, body);
 }
 
 /** Batched-inference serving driver (docs/SERVING.md): registers
