@@ -44,7 +44,7 @@ main()
         shape.numDataTiles = 112;
         const Trace trace = buildSvmTrace(lib, work, shape);
         HarvestConfig harvest;
-        harvest.sourcePower = 60e-6;
+        harvest.source = SourceSpec::constant(60e-6);
         const RunStats stats = runHarvestedTrace(trace, energy,
                                                  harvest);
         std::printf("%-10.3f %8zu %11.1f%% %14.3f %16.0f\n",

@@ -83,7 +83,7 @@ capacitorSweep(const exp::ExperimentRunner &runner)
     const auto stats =
         runner.map(caps_uf.size(), [&](std::size_t i) {
             HarvestConfig harvest;
-            harvest.sourcePower = 60e-6;
+            harvest.source = SourceSpec::constant(60e-6);
             harvest.capacitanceOverride = caps_uf[i] * 1e-6;
             return runHarvestedTrace(trace, energy, harvest);
         });

@@ -19,7 +19,8 @@ main()
     // 40 % duty cycle: 500 uW bursts, 10 uW shade.
     const Watts p_high = 500e-6;
     const Watts p_low = 10e-6;
-    TracePowerSource solar({{2.0, p_high}, {3.0, p_low}});
+    const SourceSpec solar = SourceSpec::trace(
+        {{2.0, p_high}, {3.0, p_low}}, "duty-solar");
     const Watts p_mean = (2.0 * p_high + 3.0 * p_low) / 5.0;
 
     std::printf("Ablation: duty-cycled solar source "
@@ -39,13 +40,13 @@ main()
                    1e6;
         };
         HarvestConfig solar_cfg;
-        solar_cfg.source = &solar;
+        solar_cfg.source = solar;
         HarvestConfig lo;
-        lo.sourcePower = p_low;
+        lo.source = SourceSpec::constant(p_low);
         HarvestConfig mid;
-        mid.sourcePower = p_mean;
+        mid.source = SourceSpec::constant(p_mean);
         HarvestConfig hi;
-        hi.sourcePower = p_high;
+        hi.source = SourceSpec::constant(p_high);
         std::printf("%-18s %14.0f %14.0f %14.0f %14.0f\n",
                     b.name.c_str(), latency(solar_cfg), latency(lo),
                     latency(mid), latency(hi));

@@ -58,7 +58,7 @@ main()
     const Trace trace = buildFftTrace(lib, work, 448ull * 1024, 1024);
     for (Watts p : {60e-6, 500e-6, 5e-3}) {
         HarvestConfig harvest;
-        harvest.sourcePower = p;
+        harvest.source = SourceSpec::constant(p);
         const RunStats stats = runHarvestedTrace(trace, energy,
                                                  harvest);
         std::printf("%9.0f uW %16.0f\n", p * 1e6,

@@ -106,6 +106,33 @@ BM_FunctionalAdder(benchmark::State &state)
 }
 BENCHMARK(BM_FunctionalAdder);
 
+/**
+ * TracePowerSource::power() lookup cost as the segment count grows.
+ * The lookup is O(log n) via precomputed thresholds (bit-identical
+ * to the historical linear scan); this point keeps the query on the
+ * numeric integrator's hot path from regressing back to O(n).
+ */
+void
+BM_TracePowerSourceQuery(benchmark::State &state)
+{
+    std::vector<TracePowerSource::Segment> segs;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        segs.push_back(
+            {1e-3 + 1e-5 * static_cast<double>(i % 7),
+             static_cast<double>(i % 3) * 1e-4});
+    }
+    const TracePowerSource src(segs);
+    Seconds t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(src.power(t));
+        t += 1.7e-4;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["segments"] =
+        static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TracePowerSourceQuery)->Arg(2)->Arg(16)->Arg(128);
+
 void
 BM_HarvestedTraceSvmMnist(benchmark::State &state)
 {
@@ -114,7 +141,7 @@ BM_HarvestedTraceSvmMnist(benchmark::State &state)
     const auto benchmarks = bench::paperBenchmarks();
     const Trace trace = bench::traceFor(lib, benchmarks[0]);
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     for (auto _ : state) {
         const RunStats s = runHarvestedTrace(trace, energy, harvest);
         benchmark::DoNotOptimize(s);
@@ -141,7 +168,7 @@ BM_HarvestedTraceSvmMnistTraced(benchmark::State &state)
     const auto benchmarks = bench::paperBenchmarks();
     const Trace trace = bench::traceFor(lib, benchmarks[0]);
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     obs::TraceConfig cfg;
     cfg.stats = true;
     cfg.events = true;

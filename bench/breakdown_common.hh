@@ -37,7 +37,7 @@ runBreakdown(TechConfig tech, const char *figure)
     for (const auto &b : paperBenchmarks()) {
         const Trace trace = traceFor(lib, b);
         HarvestConfig harvest;
-        harvest.sourcePower = 60e-6;
+        harvest.source = SourceSpec::constant(60e-6);
         const RunStats s = runHarvestedTrace(trace, energy, harvest);
         std::printf(
             "%-18s | %12.0f %12.3f %12.3f | %12.2f %12.4f %12.4f "

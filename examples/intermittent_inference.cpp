@@ -99,7 +99,7 @@ main()
 
     // -- 4./5. Classify test samples under harvested power.
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     // A deliberately small buffer so this demo-sized program rides
     // through real outages (the full-size benchmarks use the
     // paper's 10/100 uF buffers).

@@ -76,7 +76,7 @@ main()
     harvested.loadProgram(prog);
     seed(harvested);
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     harvest.capacitanceOverride = 200e-12;  // 200 pF demo buffer
     RunRequest harvReq;
     harvReq.power = PowerMode::Harvested;

@@ -50,7 +50,7 @@ main()
         MappingInfo info;
         const Trace trace = buildSvmTrace(lib, work, shape, &info);
         HarvestConfig harvest;
-        harvest.sourcePower = 60e-6;
+        harvest.source = SourceSpec::constant(60e-6);
         const RunStats s = runHarvestedTrace(trace, energy, harvest);
         std::printf("%-14s %12.2f %13.1fms %16.0f %12.2f\n",
                     lib.config().name().c_str(),
@@ -67,7 +67,7 @@ main()
                 "source", "latency (ms)", "outages");
     for (Watts p : {60e-6, 200e-6, 1e-3, 5e-3}) {
         HarvestConfig harvest;
-        harvest.sourcePower = p;
+        harvest.source = SourceSpec::constant(p);
         const RunStats s = runHarvestedTrace(trace, energy, harvest);
         std::printf("%9.0f uW %14.2f %12llu\n", p * 1e6,
                     s.totalTime() * 1e3,

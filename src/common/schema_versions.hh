@@ -19,15 +19,22 @@ namespace mouse::schema {
  *  injection campaign + replay reports of src/inject, and the
  *  serve_report documents of src/serve.  History: 2 = injection
  *  reports landed; 3 = "error" field on rejected requests; 4 = the
- *  optional "serve" batch/queue block and the serve_report document
+ *  optional "serve" batch/queue block and the serve_report document;
+ *  5 = "source"/"platform" scenario provenance in the point block
  *  (docs/EXPERIMENTS_API.md, docs/FAULT_INJECTION.md,
- *  docs/SERVING.md). */
-inline constexpr int kResultSchemaVersion = 4;
+ *  docs/SERVING.md, docs/HARVESTING.md). */
+inline constexpr int kResultSchemaVersion = 5;
 
 /** "metrics_schema" field of MetricsSnapshot documents emitted by
  *  src/obs/metrics_hub (docs/OBSERVABILITY.md "Live metrics
  *  format"). */
 inline constexpr int kMetricsSchemaVersion = 1;
+
+/** "trace_schema" field of power-trace documents parsed and emitted
+ *  by src/harvest/power_trace (docs/HARVESTING.md "Trace format").
+ *  Version 1: {"trace_schema", "name", "segments":[{"duration_s",
+ *  "power_w"}...]}. */
+inline constexpr int kPowerTraceSchemaVersion = 1;
 
 } // namespace mouse::schema
 

@@ -85,7 +85,9 @@ Accelerator::execute(const RunRequest &req)
     res.meta.margin = cfg_.gateMargin;
     res.meta.label = req.label;
     if (harvested) {
-        res.meta.sourcePower = req.harvest.sourcePower;
+        res.meta.power = req.harvest.source.meanPower();
+        res.meta.source = req.harvest.source.name();
+        res.meta.platform = req.harvest.platform;
         res.meta.seed = req.harvest.seed;
         res.meta.checkpointPeriod = req.harvest.checkpointPeriod;
     }

@@ -46,6 +46,10 @@ runErrorName(RunError e)
         return "max_attempts_without_scheduled_power";
       case RunError::kScheduledTraceFidelity:
         return "scheduled_trace_fidelity";
+      case RunError::kHarvestSourceInvalid:
+        return "harvest_source_invalid";
+      case RunError::kHarvestPlatformUnknown:
+        return "harvest_platform_unknown";
     }
     return "unknown";
 }
@@ -72,6 +76,14 @@ runErrorMessage(RunError e)
       case RunError::kScheduledTraceFidelity:
         return "Scheduled power requires Functional fidelity "
                "(outages land at bit-exact micro-steps)";
+      case RunError::kHarvestSourceInvalid:
+        return "req.harvest.source does not describe a usable "
+               "environment; ask SourceSpec::valid(&why) for the "
+               "specific reason";
+      case RunError::kHarvestPlatformUnknown:
+        return "req.harvest.platform names no preset; see "
+               "platformNames() (harvest/platform.hh) for the "
+               "catalog";
     }
     return "unknown run error";
 }
@@ -94,6 +106,15 @@ validateRunRequest(const RunRequest &req)
     }
     if (!scheduled && req.maxAttempts != 0) {
         return RunError::kMaxAttemptsWithoutScheduledPower;
+    }
+    if (req.power == PowerMode::Harvested) {
+        if (!req.harvest.source.valid()) {
+            return RunError::kHarvestSourceInvalid;
+        }
+        if (!req.harvest.platform.empty() &&
+            platformByName(req.harvest.platform) == nullptr) {
+            return RunError::kHarvestPlatformUnknown;
+        }
     }
     return RunError::kNone;
 }
@@ -128,6 +149,26 @@ RunRequestBuilder::harvested(const HarvestConfig &h)
 {
     req_.power = PowerMode::Harvested;
     req_.harvest = h;
+    req_.schedule = nullptr;
+    req_.maxAttempts = 0;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::tracedSource(const SourceSpec &s)
+{
+    req_.power = PowerMode::Harvested;
+    req_.harvest.source = s;
+    req_.schedule = nullptr;
+    req_.maxAttempts = 0;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::platform(std::string name)
+{
+    req_.power = PowerMode::Harvested;
+    req_.harvest.platform = std::move(name);
     req_.schedule = nullptr;
     req_.maxAttempts = 0;
     return *this;
@@ -238,7 +279,9 @@ RunResult::toJson() const
     j += "\"index\":" + num(static_cast<std::uint64_t>(meta.index));
     j += ",\"tech\":\"" + jsonEscape(meta.tech) + "\"";
     j += ",\"benchmark\":\"" + jsonEscape(meta.benchmark) + "\"";
-    j += ",\"power_w\":" + num(meta.sourcePower);
+    j += ",\"power_w\":" + num(meta.power);
+    j += ",\"source\":\"" + jsonEscape(meta.source) + "\"";
+    j += ",\"platform\":\"" + jsonEscape(meta.platform) + "\"";
     j += ",\"seed\":" + num(meta.seed);
     j += ",\"checkpoint_period\":" +
          num(static_cast<std::uint64_t>(meta.checkpointPeriod));

@@ -109,6 +109,13 @@ enum class RunError
     /** Scheduled power with Trace fidelity (outages land at
      *  bit-exact micro-steps, which only Functional has). */
     kScheduledTraceFidelity,
+    /** Harvested power with a SourceSpec that valid() rejects
+     *  (non-positive constant power, empty or powerless trace,
+     *  unknown corpus name, malformed square wave). */
+    kHarvestSourceInvalid,
+    /** Harvested power naming a platform preset that is not in
+     *  harvest/platform.hh's catalog. */
+    kHarvestPlatformUnknown,
 };
 
 /** Stable machine-readable name of a RunError ("trace_missing"). */
@@ -147,6 +154,15 @@ class RunRequestBuilder
     /** Harvested power under @p h; drops schedule/attempts. */
     RunRequestBuilder &harvested(const HarvestConfig &h);
 
+    /** Harvested power from @p s (keeping the rest of the current
+     *  harvest config); drops schedule/attempts like harvested(). */
+    RunRequestBuilder &tracedSource(const SourceSpec &s);
+
+    /** Harvested power on the named platform preset (keeping the
+     *  rest of the current harvest config); drops schedule/attempts
+     *  like harvested().  The name is checked by build(). */
+    RunRequestBuilder &platform(std::string name);
+
     /**
      * Scripted outages from @p s (borrowed) with an optional attempt
      * guard; implies Functional fidelity requirements checked by
@@ -172,8 +188,14 @@ struct PointMeta
     std::size_t index = 0;
     std::string tech;
     std::string benchmark;
-    /** Harvester power; 0 means continuous power. */
-    Watts sourcePower = 0.0;
+    /** Headline harvester power (constant power, or the mean over
+     *  one period of a trace source); 0 means continuous power. */
+    Watts power = 0.0;
+    /** Source provenance: "constant", a trace/corpus name, or
+     *  "square"; empty for continuous runs. */
+    std::string source;
+    /** Platform preset the run used; empty = tech defaults. */
+    std::string platform;
     /** Outage-schedule seed the run actually used. */
     std::uint64_t seed = 0;
     unsigned checkpointPeriod = 1;

@@ -144,7 +144,11 @@ ExperimentRunner::run(const SweepGrid &grid) const
         const std::size_t margin_index = rest % grid.margins.size();
         rest /= grid.margins.size();
         rest /= grid.checkpointPeriods.size();
-        rest /= grid.powers.size();
+        rest /= grid.sources.empty() ? grid.powers.size()
+                                     : grid.sources.size();
+        if (!grid.platforms.empty()) {
+            rest /= grid.platforms.size();
+        }
         const std::size_t tech_index = rest / grid.benchmarks.size();
         const std::size_t ctx =
             tech_index * grid.margins.size() + margin_index;
@@ -168,7 +172,11 @@ ExperimentRunner::run(const SweepGrid &grid) const
         r.meta.index = point.index;
         r.meta.tech = names::techName(point.tech);
         r.meta.benchmark = grid.benchmarks[point.benchmark].name;
-        r.meta.sourcePower = point.continuous() ? 0.0 : point.power;
+        r.meta.power = point.continuous() ? 0.0 : point.power;
+        if (!point.continuous()) {
+            r.meta.source = point.source.name();
+        }
+        r.meta.platform = point.platform;
         r.meta.seed = point.seed;
         r.meta.checkpointPeriod = point.checkpointPeriod;
         r.meta.margin = point.margin;

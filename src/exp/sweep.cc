@@ -21,14 +21,20 @@ deriveSeed(std::uint64_t rootSeed, std::uint64_t index)
 std::size_t
 SweepGrid::size() const
 {
-    return techs.size() * benchmarks.size() * powers.size() *
-           checkpointPeriods.size() * margins.size() * seedsPerPoint;
+    const std::size_t powerAxis =
+        sources.empty() ? powers.size() : sources.size();
+    const std::size_t platformAxis =
+        platforms.empty() ? 1 : platforms.size();
+    return techs.size() * benchmarks.size() * powerAxis *
+           platformAxis * checkpointPeriods.size() * margins.size() *
+           seedsPerPoint;
 }
 
 SweepPoint
 SweepGrid::at(std::size_t index) const
 {
-    if (techs.empty() || benchmarks.empty() || powers.empty() ||
+    if (techs.empty() || benchmarks.empty() ||
+        (powers.empty() && sources.empty()) ||
         checkpointPeriods.empty() || margins.empty() ||
         seedsPerPoint == 0) {
         mouse_fatal("sweep grid has an empty axis");
@@ -42,7 +48,11 @@ SweepGrid::at(std::size_t index) const
     p.seed = deriveSeed(rootSeed, index);
 
     // Mixed-radix decode, fastest axis last in the declaration
-    // order: tech, benchmark, power, checkpointPeriod, margin, seed.
+    // order: tech, benchmark, [platform,] power|source,
+    // checkpointPeriod, margin, seed.  The sources axis occupies the
+    // powers slot and the platform axis contributes radix 1 when
+    // empty, so grids predating both decode exactly as they always
+    // have (same index -> point mapping, same derived seeds).
     std::size_t rest = index;
     p.seedSlot = rest % seedsPerPoint;
     rest /= seedsPerPoint;
@@ -51,8 +61,21 @@ SweepGrid::at(std::size_t index) const
     p.checkpointPeriod =
         checkpointPeriods[rest % checkpointPeriods.size()];
     rest /= checkpointPeriods.size();
-    p.power = powers[rest % powers.size()];
-    rest /= powers.size();
+    if (sources.empty()) {
+        p.power = powers[rest % powers.size()];
+        p.source = SourceSpec::constant(p.power);
+        rest /= powers.size();
+    } else {
+        p.scenario = true;
+        p.sourceSlot = rest % sources.size();
+        p.source = sources[p.sourceSlot];
+        p.power = p.source.meanPower();
+        rest /= sources.size();
+    }
+    if (!platforms.empty()) {
+        p.platform = platforms[rest % platforms.size()];
+        rest /= platforms.size();
+    }
     p.benchmark = rest % benchmarks.size();
     rest /= benchmarks.size();
     p.tech = techs[rest];
@@ -63,7 +86,10 @@ HarvestConfig
 SweepGrid::harvestFor(const SweepPoint &point) const
 {
     HarvestConfig harvest = harvestBase;
-    harvest.sourcePower = point.power;
+    harvest.source = point.source;
+    if (!point.platform.empty()) {
+        harvest.platform = point.platform;
+    }
     harvest.checkpointPeriod = point.checkpointPeriod;
     harvest.seed = point.seed;
     return harvest;

@@ -37,8 +37,19 @@ struct SweepPoint
     TechConfig tech = TechConfig::ModernStt;
     /** Index into the grid's benchmarks vector. */
     std::size_t benchmark = 0;
-    /** Harvester power; <= 0 means continuous power. */
+    /** Headline harvester power (constant power, or the mean of a
+     *  scenario source); <= 0 means continuous power. */
     Watts power = 0.0;
+    /** True when the point came from the grid's sources axis; such
+     *  points are always harvested, whatever their mean power. */
+    bool scenario = false;
+    /** Position along the sources axis (0 for power sweeps). */
+    std::size_t sourceSlot = 0;
+    /** The environment this point runs under: the sources-axis
+     *  entry, or constant(power) for classic power sweeps. */
+    SourceSpec source;
+    /** Platform preset name; empty = tech defaults. */
+    std::string platform;
     unsigned checkpointPeriod = 1;
     double margin = kDefaultGateMargin;
     /** Position along the Monte-Carlo seed axis. */
@@ -49,7 +60,7 @@ struct SweepPoint
     bool
     continuous() const
     {
-        return power <= 0.0;
+        return !scenario && power <= 0.0;
     }
 };
 
@@ -62,8 +73,23 @@ struct SweepGrid
     std::vector<TechConfig> techs{TechConfig::ModernStt};
     std::vector<Benchmark> benchmarks;
     /** Harvester powers; kContinuousPower entries run on wall
-     *  power. */
+     *  power.  Ignored when `sources` is non-empty. */
     std::vector<Watts> powers{kContinuousPower};
+    /**
+     * Scenario-source axis: when non-empty it *replaces* the powers
+     * axis in the mixed-radix decode (same slot, so grids that never
+     * set it keep their historical index -> point mapping and
+     * derived seeds), and every point is harvested under its
+     * SourceSpec.  See docs/HARVESTING.md.
+     */
+    std::vector<SourceSpec> sources;
+    /**
+     * Platform axis: capacitor/converter presets by name
+     * (harvest/platform.hh), decoded between the power/source slot
+     * and the benchmark slot.  Empty (the default) contributes
+     * radix 1 — i.e. nothing — keeping old grids bit-identical.
+     */
+    std::vector<std::string> platforms;
     std::vector<unsigned> checkpointPeriods{1};
     std::vector<double> margins{kDefaultGateMargin};
     /** Monte-Carlo axis: independent derived seeds per point. */

@@ -12,6 +12,10 @@
 #ifndef MOUSE_HARVEST_POWER_SOURCE_HH
 #define MOUSE_HARVEST_POWER_SOURCE_HH
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/logging.hh"
@@ -28,6 +32,12 @@ class PowerSource
 
     /** Instantaneous harvested power at absolute time @p t. */
     virtual Watts power(Seconds t) const = 0;
+
+    /** Repetition period of the output, or 0 when the output never
+     *  varies.  Numeric integrators bound their step to a fraction
+     *  of this so a long drought cannot alias over the charging
+     *  phases of a short-period source. */
+    virtual Seconds period() const { return 0.0; }
 };
 
 /** Constant output (the paper's model). */
@@ -46,7 +56,18 @@ class ConstantPowerSource : public PowerSource
 };
 
 /** Piecewise-constant trace, cycling through (duration, power)
- *  segments; models clouds over a solar cell etc. */
+ *  segments; models clouds over a solar cell etc.
+ *
+ *  Queries are O(log n): construction precomputes, per segment
+ *  boundary, the smallest representable phase that lands past the
+ *  boundary under the reference subtract-and-compare scan, and
+ *  power() binary-searches those thresholds.  Because each threshold
+ *  is found by bisecting the scan itself over the ordered bit
+ *  patterns of the phase doubles, the selected segment — and thus
+ *  the returned power — is bit-identical to the former linear scan
+ *  for every input, including phases where accumulated floating-
+ *  point subtraction error made the scan disagree with exact
+ *  cumulative sums. */
 class TracePowerSource : public PowerSource
 {
   public:
@@ -54,6 +75,8 @@ class TracePowerSource : public PowerSource
     {
         Seconds duration;
         Watts power;
+
+        bool operator==(const Segment &other) const = default;
     };
 
     explicit TracePowerSource(std::vector<Segment> segments)
@@ -64,22 +87,23 @@ class TracePowerSource : public PowerSource
             mouse_assert(s.duration > 0.0, "non-positive segment");
             period_ += s.duration;
         }
+        buildThresholds();
     }
 
     Watts
     power(Seconds t) const override
     {
-        Seconds phase = std::fmod(t, period_);
-        for (const Segment &s : segments_) {
-            if (phase < s.duration) {
-                return s.power;
-            }
-            phase -= s.duration;
-        }
-        return segments_.back().power;
+        const Seconds phase = std::fmod(t, period_);
+        const std::size_t idx = static_cast<std::size_t>(
+            std::upper_bound(thresholds_.begin(), thresholds_.end(),
+                             phase) -
+            thresholds_.begin());
+        return segments_[idx].power;
     }
 
-    Seconds period() const { return period_; }
+    Seconds period() const override { return period_; }
+
+    const std::vector<Segment> &segments() const { return segments_; }
 
     /**
      * Square wave: @p peak watts for @p duty of each @p period, then
@@ -98,7 +122,65 @@ class TracePowerSource : public PowerSource
     }
 
   private:
+    /** The pre-threshold reference: subtract each duration in turn
+     *  and select the first segment the remaining phase fits in,
+     *  falling through to the last segment. */
+    std::size_t
+    scanIndex(Seconds phase) const
+    {
+        for (std::size_t i = 0; i < segments_.size(); ++i) {
+            if (phase < segments_[i].duration) {
+                return i;
+            }
+            phase -= segments_[i].duration;
+        }
+        return segments_.size() - 1;
+    }
+
+    static std::uint64_t
+    phaseBits(Seconds v)
+    {
+        std::uint64_t b = 0;
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+    }
+
+    static Seconds
+    phaseFromBits(std::uint64_t b)
+    {
+        Seconds v = 0.0;
+        std::memcpy(&v, &b, sizeof(v));
+        return v;
+    }
+
+    /** thresholds_[b-1] = smallest phase the scan maps to segment
+     *  >= b.  scanIndex is monotone in the phase, and non-negative
+     *  doubles order the same as their bit patterns, so each
+     *  boundary is an integer bisection over phase bits with the
+     *  scan as the oracle. */
+    void
+    buildThresholds()
+    {
+        thresholds_.reserve(segments_.size() - 1);
+        for (std::size_t b = 1; b < segments_.size(); ++b) {
+            std::uint64_t lo = phaseBits(0.0);
+            std::uint64_t hi = phaseBits(period_);
+            // scanIndex(0) == 0 < b (durations are positive) and
+            // scanIndex(period_) falls through to the last segment.
+            while (hi - lo > 1) {
+                const std::uint64_t mid = lo + (hi - lo) / 2;
+                if (scanIndex(phaseFromBits(mid)) >= b) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            thresholds_.push_back(phaseFromBits(hi));
+        }
+    }
+
     std::vector<Segment> segments_;
+    std::vector<Seconds> thresholds_;
     Seconds period_ = 0.0;
 };
 

@@ -1,0 +1,422 @@
+#include "harvest/power_trace.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/schema_versions.hh"
+
+namespace mouse
+{
+
+namespace
+{
+
+/** Shortest %.17g rendering — strtod() round-trips it exactly, so
+ *  toJson()/parsePowerTrace() compose to the identity. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c; break;
+        }
+    }
+    return out;
+}
+
+/** Hand-rolled cursor over the document text, tracking the 1-based
+ *  line of every token so failures anchor to where they happened. */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    PowerTraceError err{};
+    bool failed = false;
+
+    bool
+    fail(const std::string &message)
+    {
+        if (!failed) {
+            failed = true;
+            err = {line, message};
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '\n') {
+                ++line;
+            } else if (c != ' ' && c != '\t' && c != '\r') {
+                break;
+            }
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    bool
+    consume(char want, const char *what)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != want) {
+            return fail(std::string("expected ") + what);
+        }
+        ++pos;
+        return true;
+    }
+};
+
+bool
+parseString(Cursor &c, std::string *out)
+{
+    if (!c.consume('"', "a string")) {
+        return false;
+    }
+    std::string s;
+    while (c.pos < c.text.size()) {
+        const char ch = c.text[c.pos++];
+        if (ch == '"') {
+            if (out != nullptr) {
+                *out = s;
+            }
+            return true;
+        }
+        if (ch == '\n') {
+            return c.fail("unterminated string");
+        }
+        if (ch == '\\') {
+            if (c.pos >= c.text.size()) {
+                return c.fail("unterminated string escape");
+            }
+            const char e = c.text[c.pos++];
+            switch (e) {
+            case '"': s += '"'; break;
+            case '\\': s += '\\'; break;
+            case '/': s += '/'; break;
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            default: return c.fail("unsupported string escape");
+            }
+        } else {
+            s += ch;
+        }
+    }
+    return c.fail("unterminated string");
+}
+
+bool
+parseNumber(Cursor &c, double *out)
+{
+    c.skipWs();
+    const char *start = c.text.c_str() + c.pos;
+    char *end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+        return c.fail("expected a number");
+    }
+    c.pos += static_cast<std::size_t>(end - start);
+    if (!std::isfinite(v)) {
+        return c.fail("non-finite number");
+    }
+    *out = v;
+    return true;
+}
+
+bool skipValue(Cursor &c);
+
+bool
+skipCompound(Cursor &c, char open, char close)
+{
+    if (!c.consume(open, "a value")) {
+        return false;
+    }
+    if (c.peek() == close) {
+        ++c.pos;
+        return true;
+    }
+    while (true) {
+        if (open == '{') {
+            if (!parseString(c, nullptr) ||
+                !c.consume(':', "':' after key")) {
+                return false;
+            }
+        }
+        if (!skipValue(c)) {
+            return false;
+        }
+        if (c.peek() == ',') {
+            ++c.pos;
+            continue;
+        }
+        return c.consume(close, open == '{' ? "'}'" : "']'");
+    }
+}
+
+bool
+skipValue(Cursor &c)
+{
+    const char head = c.peek();
+    if (head == '"') {
+        return parseString(c, nullptr);
+    }
+    if (head == '{') {
+        return skipCompound(c, '{', '}');
+    }
+    if (head == '[') {
+        return skipCompound(c, '[', ']');
+    }
+    if (c.text.compare(c.pos, 4, "true") == 0) {
+        c.pos += 4;
+        return true;
+    }
+    if (c.text.compare(c.pos, 5, "false") == 0) {
+        c.pos += 5;
+        return true;
+    }
+    if (c.text.compare(c.pos, 4, "null") == 0) {
+        c.pos += 4;
+        return true;
+    }
+    double ignored = 0.0;
+    return parseNumber(c, &ignored);
+}
+
+bool
+parseSegments(Cursor &c, PowerTrace *trace)
+{
+    if (!c.consume('[', "'[' (\"segments\" is an array)")) {
+        return false;
+    }
+    if (c.peek() == ']') {
+        ++c.pos;
+        return true; // emptiness rejected after the full parse
+    }
+    while (true) {
+        c.skipWs();
+        const std::size_t segLine = c.line;
+        if (!c.consume('{', "'{' (a segment is an object)")) {
+            return false;
+        }
+        bool sawDuration = false;
+        bool sawPower = false;
+        TracePowerSource::Segment seg{};
+        if (c.peek() != '}') {
+            while (true) {
+                std::string key;
+                if (!parseString(c, &key) ||
+                    !c.consume(':', "':' after key")) {
+                    return false;
+                }
+                if (key == "duration_s") {
+                    if (!parseNumber(c, &seg.duration)) {
+                        return false;
+                    }
+                    sawDuration = true;
+                } else if (key == "power_w") {
+                    if (!parseNumber(c, &seg.power)) {
+                        return false;
+                    }
+                    sawPower = true;
+                } else if (!skipValue(c)) {
+                    return false;
+                }
+                if (c.peek() == ',') {
+                    ++c.pos;
+                    continue;
+                }
+                break;
+            }
+        }
+        if (!c.consume('}', "'}'")) {
+            return false;
+        }
+        const std::size_t index = trace->segments.size();
+        const std::string where =
+            "segments[" + std::to_string(index) + "]";
+        if (!sawDuration || !sawPower) {
+            c.line = segLine;
+            return c.fail(where + " needs \"duration_s\" and "
+                                  "\"power_w\"");
+        }
+        if (seg.duration <= 0.0) {
+            c.line = segLine;
+            return c.fail(where + " has non-positive duration_s");
+        }
+        if (seg.power < 0.0) {
+            c.line = segLine;
+            return c.fail(where + " has negative power_w");
+        }
+        trace->segments.push_back(seg);
+        if (c.peek() == ',') {
+            ++c.pos;
+            continue;
+        }
+        return c.consume(']', "']'");
+    }
+}
+
+} // namespace
+
+Seconds
+PowerTrace::period() const
+{
+    Seconds total = 0.0;
+    for (const TracePowerSource::Segment &s : segments) {
+        total += s.duration;
+    }
+    return total;
+}
+
+Watts
+PowerTrace::meanPower() const
+{
+    const Seconds total = period();
+    if (total <= 0.0) {
+        return 0.0;
+    }
+    Joules energy = 0.0;
+    for (const TracePowerSource::Segment &s : segments) {
+        energy += s.duration * s.power;
+    }
+    return energy / total;
+}
+
+std::string
+PowerTrace::toJson() const
+{
+    std::string j = "{\"trace_schema\":" +
+                    std::to_string(schema::kPowerTraceSchemaVersion);
+    j += ",\"name\":\"" + jsonEscape(name) + "\"";
+    j += ",\"segments\":[";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i > 0) {
+            j += ",";
+        }
+        j += "{\"duration_s\":" + num(segments[i].duration);
+        j += ",\"power_w\":" + num(segments[i].power) + "}";
+    }
+    j += "]}";
+    return j;
+}
+
+std::optional<PowerTrace>
+parsePowerTrace(const std::string &text, PowerTraceError *err)
+{
+    Cursor c{text};
+    PowerTrace trace;
+    bool sawSchema = false;
+    bool sawSegments = false;
+    double schemaVersion = 0.0;
+    std::size_t schemaLine = 1;
+    std::size_t segmentsLine = 1;
+
+    const auto failed = [&]() -> std::optional<PowerTrace> {
+        if (err != nullptr) {
+            *err = c.failed ? c.err
+                            : PowerTraceError{c.line,
+                                              "malformed document"};
+        }
+        return std::nullopt;
+    };
+
+    if (!c.consume('{', "'{' (a trace document is a JSON object)")) {
+        return failed();
+    }
+    if (c.peek() != '}') {
+        while (true) {
+            c.skipWs();
+            const std::size_t keyLine = c.line;
+            std::string key;
+            if (!parseString(c, &key) ||
+                !c.consume(':', "':' after key")) {
+                return failed();
+            }
+            if (key == "trace_schema") {
+                if (!parseNumber(c, &schemaVersion)) {
+                    return failed();
+                }
+                sawSchema = true;
+                schemaLine = keyLine;
+            } else if (key == "name") {
+                if (!parseString(c, &trace.name)) {
+                    return failed();
+                }
+            } else if (key == "segments") {
+                sawSegments = true;
+                segmentsLine = keyLine;
+                if (!parseSegments(c, &trace)) {
+                    return failed();
+                }
+            } else if (!skipValue(c)) {
+                return failed();
+            }
+            if (c.peek() == ',') {
+                ++c.pos;
+                continue;
+            }
+            break;
+        }
+    }
+    if (!c.consume('}', "'}'")) {
+        return failed();
+    }
+    c.skipWs();
+    if (c.pos < text.size()) {
+        c.fail("trailing content after the document");
+        return failed();
+    }
+
+    if (!sawSchema) {
+        c.line = 1;
+        c.fail("missing \"trace_schema\" field");
+        return failed();
+    }
+    if (schemaVersion !=
+        static_cast<double>(schema::kPowerTraceSchemaVersion)) {
+        c.line = schemaLine;
+        c.fail("unsupported trace_schema " + num(schemaVersion) +
+               " (this build reads version " +
+               std::to_string(schema::kPowerTraceSchemaVersion) +
+               ")");
+        return failed();
+    }
+    if (!sawSegments) {
+        c.line = 1;
+        c.fail("missing \"segments\" field");
+        return failed();
+    }
+    if (trace.segments.empty()) {
+        c.line = segmentsLine;
+        c.fail("\"segments\" must not be empty");
+        return failed();
+    }
+    return trace;
+}
+
+} // namespace mouse

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The embedded power-trace corpus (docs/HARVESTING.md).
+ *
+ * Three canonical ambient-energy environments ship inside the
+ * binary as trace_schema-1 JSON documents (src/harvest/traces/):
+ *
+ *   solar-day-night  compressed diurnal photovoltaic ramp
+ *   rf-bursty        Powercast-style RF bursts with quiet gaps
+ *   piezo-impulse    footfall piezo impulse train
+ *
+ * Corpus entries are parsed through parsePowerTrace() on first use —
+ * the same code path as user-supplied --power-trace files — so the
+ * shipped documents are themselves round-trip-validated, and
+ * lookups never depend on the filesystem.
+ */
+
+#ifndef MOUSE_HARVEST_TRACE_CORPUS_HH
+#define MOUSE_HARVEST_TRACE_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "harvest/power_trace.hh"
+
+namespace mouse
+{
+
+/** All corpus traces, in stable listing order. */
+const std::vector<PowerTrace> &powerTraceCorpus();
+
+/** Look up a corpus trace by exact name; nullptr when unknown. */
+const PowerTrace *corpusTrace(const std::string &name);
+
+/** Corpus names in listing order (CLI help / error messages). */
+std::vector<std::string> corpusTraceNames();
+
+} // namespace mouse
+
+#endif // MOUSE_HARVEST_TRACE_CORPUS_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Embedded corpus trace: piezoelectric impulse train.
+ *
+ * A wearable piezo harvester driven by footfalls: a few-millisecond
+ * multi-milliwatt impulse per heel strike at roughly 1 Hz, with only
+ * microwatts of vibration scatter between strikes.  The two strikes
+ * differ in amplitude and width (gait asymmetry) so the trace is not
+ * a plain square wave.  Plain trace_schema-1 JSON; round-trips
+ * through parsePowerTrace() at corpus load.
+ */
+
+#ifndef MOUSE_HARVEST_TRACES_PIEZO_IMPULSE_HH
+#define MOUSE_HARVEST_TRACES_PIEZO_IMPULSE_HH
+
+namespace mouse::traces
+{
+
+inline constexpr const char kPiezoImpulseJson[] = R"trace({
+  "trace_schema": 1,
+  "name": "piezo-impulse",
+  "segments": [
+    {"duration_s": 0.004, "power_w": 3e-3},
+    {"duration_s": 0.496, "power_w": 4e-6},
+    {"duration_s": 0.006, "power_w": 1.5e-3},
+    {"duration_s": 0.494, "power_w": 4e-6}
+  ]
+})trace";
+
+} // namespace mouse::traces
+
+#endif // MOUSE_HARVEST_TRACES_PIEZO_IMPULSE_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Embedded corpus trace: bursty Powercast-style RF harvesting.
+ *
+ * Models a 915 MHz RF harvester (the Powercast receiver SONIC's
+ * evaluation uses) near the edge of its range: short multi-milliwatt
+ * bursts when the transmitter beam sweeps past, tens-of-microwatt
+ * scatter between them.  Burst spacing is irregular on purpose so
+ * runs de-phase from the instruction cadence.  Plain trace_schema-1
+ * JSON; round-trips through parsePowerTrace() at corpus load.
+ */
+
+#ifndef MOUSE_HARVEST_TRACES_RF_BURSTY_HH
+#define MOUSE_HARVEST_TRACES_RF_BURSTY_HH
+
+namespace mouse::traces
+{
+
+inline constexpr const char kRfBurstyJson[] = R"trace({
+  "trace_schema": 1,
+  "name": "rf-bursty",
+  "segments": [
+    {"duration_s": 0.02, "power_w": 5e-3},
+    {"duration_s": 0.08, "power_w": 5e-5},
+    {"duration_s": 0.01, "power_w": 5e-3},
+    {"duration_s": 0.19, "power_w": 2e-5},
+    {"duration_s": 0.05, "power_w": 5e-3},
+    {"duration_s": 0.15, "power_w": 1e-5}
+  ]
+})trace";
+
+} // namespace mouse::traces
+
+#endif // MOUSE_HARVEST_TRACES_RF_BURSTY_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Embedded corpus trace: compressed solar day/night ramp.
+ *
+ * A diurnal cycle of a small indoor/outdoor photovoltaic cell,
+ * time-compressed to a 12 s period so second-scale simulations see
+ * full day boundaries: 2 uW night leakage, dawn/dusk shoulders, and
+ * a 500 uW noon plateau (the upper end of a cm^2 cell in shade;
+ * see docs/HARVESTING.md).  The document is plain trace_schema-1
+ * JSON and round-trips through parsePowerTrace() at corpus load.
+ */
+
+#ifndef MOUSE_HARVEST_TRACES_SOLAR_DAY_NIGHT_HH
+#define MOUSE_HARVEST_TRACES_SOLAR_DAY_NIGHT_HH
+
+namespace mouse::traces
+{
+
+inline constexpr const char kSolarDayNightJson[] = R"trace({
+  "trace_schema": 1,
+  "name": "solar-day-night",
+  "segments": [
+    {"duration_s": 1.0, "power_w": 2e-6},
+    {"duration_s": 1.0, "power_w": 5e-5},
+    {"duration_s": 1.5, "power_w": 2e-4},
+    {"duration_s": 2.0, "power_w": 5e-4},
+    {"duration_s": 1.5, "power_w": 2e-4},
+    {"duration_s": 1.0, "power_w": 5e-5},
+    {"duration_s": 4.0, "power_w": 2e-6}
+  ]
+})trace";
+
+} // namespace mouse::traces
+
+#endif // MOUSE_HARVEST_TRACES_SOLAR_DAY_NIGHT_HH

@@ -1,0 +1,62 @@
+#include "env_schedule.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "harvest/platform.hh"
+
+namespace mouse::inject
+{
+
+OutageSchedule
+scheduleFromSource(const SourceSpec &source,
+                   const EnvScheduleParams &params)
+{
+    std::string why;
+    if (!source.valid(&why)) {
+        mouse_fatal("env schedule needs a valid source: %s",
+                    why.c_str());
+    }
+    Farads cap = params.fallbackCapacitance;
+    Volts vMax = params.fallbackMaxVoltage;
+    double eff = 1.0;
+    if (!params.platform.empty()) {
+        const Platform *p = platformByName(params.platform);
+        if (p == nullptr) {
+            mouse_fatal("env schedule: unknown platform '%s'",
+                        params.platform.c_str());
+        }
+        cap = p->capacitance;
+        vMax = p->maxCapacitorVoltage;
+        eff = p->converterEfficiency;
+    }
+    const Joules eMax = 0.5 * cap * vMax * vMax;
+
+    OutageSchedule s;
+    s.checkpointPeriod = params.checkpointPeriod;
+    s.restoreJournal = params.restoreJournal;
+
+    auto src = source.make();
+    // Energy-bucket walk: harvest one attempt-period of source power,
+    // spend one attempt quantum; a dry bucket is an outage.  Start
+    // full, and recharge to full after each outage (the machine sits
+    // dark until the capacitor refills), which bounds the schedule by
+    // the number of droughts rather than their duration.
+    Joules e = eMax;
+    for (std::uint64_t a = 0; a < params.attempts; ++a) {
+        const Watts p =
+            src->power(static_cast<double>(a) * params.attemptPeriod);
+        e = std::min(eMax, e + p * params.attemptPeriod * eff);
+        if (e < params.attemptEnergy) {
+            s.points.push_back(
+                {a, MicroStep::kExecute, 0.5});
+            e = eMax;
+        } else {
+            e -= params.attemptEnergy;
+        }
+    }
+    s.normalize();
+    return s;
+}
+
+} // namespace mouse::inject

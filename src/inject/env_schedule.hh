@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Environment-derived outage schedules.
+ *
+ * The campaign engine's exhaustive and randomized schedules answer
+ * "can ANY outage corrupt state?"; this bridge answers "which outages
+ * does a REAL environment actually produce?".  It walks a SourceSpec
+ * (harvest/source_spec.hh) through a small energy-bucket model — the
+ * platform's capacitor charges from the source, each attempt drains a
+ * fixed quantum — and emits an OutagePoint wherever the bucket runs
+ * dry, so a fault-injection campaign can replay a solar dusk or an RF
+ * burst gap as a deterministic Scheduled-power run.
+ *
+ * The walk is pure arithmetic over the spec (no RNG, no wall clock),
+ * so the same (source, params) pair always yields the same schedule.
+ */
+
+#ifndef MOUSE_INJECT_ENV_SCHEDULE_HH
+#define MOUSE_INJECT_ENV_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harvest/source_spec.hh"
+#include "sim/outage_schedule.hh"
+
+namespace mouse::inject
+{
+
+/** Energy-bucket model for deriving outages from a SourceSpec. */
+struct EnvScheduleParams
+{
+    /** Attempts to walk (usually the campaign's goldenAttempts). */
+    std::uint64_t attempts = 0;
+    /** Energy one attempt drains from the capacitor. */
+    Joules attemptEnergy = 25e-12;
+    /** Environment time one attempt spans (the source is sampled at
+     *  attempt * attemptPeriod). */
+    Seconds attemptPeriod = 1e-6;
+    /** Checkpoint discipline stamped into the schedule. */
+    unsigned checkpointPeriod = 1;
+    bool restoreJournal = true;
+    /** Platform preset naming the capacitor (harvest/platform.hh);
+     *  empty uses the fallback constants below. */
+    std::string platform;
+    Farads fallbackCapacitance = 5e-9;
+    Volts fallbackMaxVoltage = 3.0;
+};
+
+/**
+ * Derive the outage schedule @p source produces under @p params.
+ * Each dry-bucket attempt becomes a mid-Execute cut, after which the
+ * model recharges to full (bounding the point count by the number of
+ * genuine droughts, not their length).  Fatal if the spec is invalid
+ * or the platform unknown.
+ */
+OutageSchedule scheduleFromSource(const SourceSpec &source,
+                                  const EnvScheduleParams &params);
+
+} // namespace mouse::inject
+
+#endif // MOUSE_INJECT_ENV_SCHEDULE_HH

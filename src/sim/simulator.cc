@@ -360,14 +360,17 @@ struct HarvestEnv
 {
     HarvestEnv(const EnergyModel &energy, const HarvestConfig &cfg,
                SimProbe *probe)
-        : cap(cfg.capacitanceOverride > 0.0
-                  ? cfg.capacitanceOverride
-                  : energy.config().bufferCapacitance,
+        : cap(effectiveCapacitance(cfg,
+                                   energy.config().bufferCapacitance),
               cfg.startEmpty ? 0.0 : energy.config().capVoltageLow),
-          converter(cfg.converterEfficiency),
-          constantSource(cfg.sourcePower),
-          source(cfg.source ? *cfg.source : constantSource),
-          varying(cfg.source != nullptr),
+          converter(effectiveConverterEfficiency(cfg)),
+          sourceOwner(cfg.source.make()),
+          source(*sourceOwner),
+          varying(!cfg.source.isConstant()),
+          maxStep(source.period() > 0.0
+                      ? std::clamp(source.period() / 16.0, 1e-5,
+                                   0.25)
+                      : 0.25),
           vLow(energy.config().capVoltageLow),
           vHigh(energy.config().capVoltageHigh),
           probe(probe)
@@ -400,14 +403,17 @@ struct HarvestEnv
             return;
         }
         // Time-varying source: integrate numerically.  Step size is
-        // a fraction of the remaining charge estimate, bounded so
-        // fast transients are still resolved.
+        // a fraction of the remaining charge estimate, bounded below
+        // so fast transients are still resolved and above by a
+        // fraction of the source period — a drought-phase estimate
+        // is near-infinite, and an unbounded step would alias right
+        // over the charging phases of a short-period source.
         Seconds charged = 0.0;
         while (cap.voltage() < v) {
             const Watts p = std::max(source.power(now), 1e-12);
             const Seconds estimate = cap.timeToCharge(v, p);
             const Seconds dt =
-                std::clamp(estimate / 64.0, 1e-5, 0.25);
+                std::clamp(estimate / 64.0, 1e-5, maxStep);
             cap.charge(p, std::min(dt, estimate));
             now += std::min(dt, estimate);
             charged += std::min(dt, estimate);
@@ -438,9 +444,11 @@ struct HarvestEnv
 
     Capacitor cap;
     SwitchedCapConverter converter;
-    ConstantPowerSource constantSource;
+    std::unique_ptr<PowerSource> sourceOwner;
     const PowerSource &source;
     bool varying;
+    /** Integration step cap (period-resolving for trace sources). */
+    Seconds maxStep;
     Volts vLow;
     Volts vHigh;
     SimProbe *probe;
@@ -449,6 +457,37 @@ struct HarvestEnv
 };
 
 } // namespace
+
+Farads
+effectiveCapacitance(const HarvestConfig &harvest, Farads techBuffer)
+{
+    if (harvest.capacitanceOverride > 0.0) {
+        return harvest.capacitanceOverride;
+    }
+    if (!harvest.platform.empty()) {
+        const Platform *p = platformByName(harvest.platform);
+        if (p == nullptr) {
+            mouse_fatal("unknown platform '%s'",
+                        harvest.platform.c_str());
+        }
+        return p->capacitance;
+    }
+    return techBuffer;
+}
+
+double
+effectiveConverterEfficiency(const HarvestConfig &harvest)
+{
+    if (harvest.platform.empty()) {
+        return harvest.converterEfficiency;
+    }
+    const Platform *p = platformByName(harvest.platform);
+    if (p == nullptr) {
+        mouse_fatal("unknown platform '%s'",
+                    harvest.platform.c_str());
+    }
+    return harvest.converterEfficiency * p->converterEfficiency;
+}
 
 RunStats
 runContinuousFunctional(Controller &ctrl, obs::Telemetry *telem)

@@ -30,7 +30,9 @@
 #include "controller/controller.hh"
 #include "harvest/capacitor.hh"
 #include "harvest/converter.hh"
+#include "harvest/platform.hh"
 #include "harvest/power_source.hh"
+#include "harvest/source_spec.hh"
 #include "obs/telemetry.hh"
 #include "sim/outage_schedule.hh"
 #include "sim/stats.hh"
@@ -41,15 +43,23 @@ namespace mouse
 /** Harvesting environment description. */
 struct HarvestConfig
 {
-    /** Harvester output power (constant-source model). */
-    Watts sourcePower = 60e-6;
     /**
-     * Optional time-varying source (e.g. TracePowerSource for a
-     * solar day/night cycle).  Non-owning; when set it overrides
-     * sourcePower and charging is integrated numerically over the
-     * run's absolute time.
+     * Power environment: constant (the paper's model, default
+     * 60 uW) | embedded trace | named corpus trace | square wave.
+     * Constant sources recharge analytically; everything else is
+     * integrated numerically over the run's absolute time.  See
+     * docs/HARVESTING.md.
      */
-    const PowerSource *source = nullptr;
+    SourceSpec source;
+    /**
+     * Named capacitor/converter platform preset
+     * (harvest/platform.hh); empty keeps the technology's buffer
+     * sizing and the configured converter efficiency.  A platform
+     * replaces the default buffer capacitance (capacitanceOverride
+     * still wins) and derates converterEfficiency by its front-end
+     * efficiency.
+     */
+    std::string platform;
     /** Converter efficiency; 1.0 reproduces the paper's accounting
      *  (regulator overhead excluded). */
     double converterEfficiency = 1.0;
@@ -75,6 +85,21 @@ struct HarvestConfig
     /** Seed for the micro-step outage positions (functional mode). */
     std::uint64_t seed = 1;
 };
+
+/**
+ * Effective buffer capacitance of @p harvest on a technology whose
+ * default buffer is @p techBuffer.  Precedence: explicit
+ * capacitanceOverride > named platform datasheet > tech default.
+ * Fatal on an unknown platform name — API paths validate through
+ * RunError (kHarvestPlatformUnknown) before reaching here.
+ */
+Farads effectiveCapacitance(const HarvestConfig &harvest,
+                            Farads techBuffer);
+
+/** Effective converter efficiency of @p harvest: the configured
+ *  efficiency, derated by the named platform's front-end efficiency
+ *  when one is set.  Fatal on an unknown platform name. */
+double effectiveConverterEfficiency(const HarvestConfig &harvest);
 
 /**
  * Continuous-power functional run of a full program.

@@ -39,13 +39,12 @@ analyzeTermination(const Trace &trace, const EnergyModel &energy,
                    const HarvestConfig &harvest)
 {
     const DeviceConfig &cfg = energy.config();
-    const Farads cap = harvest.capacitanceOverride > 0.0
-                           ? harvest.capacitanceOverride
-                           : cfg.bufferCapacitance;
+    const Farads cap =
+        effectiveCapacitance(harvest, cfg.bufferCapacitance);
 
     TerminationReport report;
     report.burstEnergy = burstEnergyFor(cfg, cap) *
-                         harvest.converterEfficiency;
+                         effectiveConverterEfficiency(harvest);
 
     // The binding constraint is the block maximizing instruction +
     // restore cost (the restore after an outage inside that block
@@ -77,11 +76,10 @@ maxSafeParallelism(const EnergyModel &energy,
                    const HarvestConfig &harvest)
 {
     const DeviceConfig &cfg = energy.config();
-    const Farads cap = harvest.capacitanceOverride > 0.0
-                           ? harvest.capacitanceOverride
-                           : cfg.bufferCapacitance;
+    const Farads cap =
+        effectiveCapacitance(harvest, cfg.bufferCapacitance);
     const Joules burst = burstEnergyFor(cfg, cap) *
-                         harvest.converterEfficiency;
+                         effectiveConverterEfficiency(harvest);
 
     // Binary-search the widest gate instruction that still leaves
     // room for its own restore.  The ceiling is far above any

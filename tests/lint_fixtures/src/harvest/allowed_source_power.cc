@@ -1,0 +1,12 @@
+// Fixture: src/harvest owns the migration shims, so the retired
+// identifier is allowed there without a suppression.
+struct LegacyView
+{
+    double sourcePower = 0.0; // allowed: under src/harvest
+};
+
+double
+legacySourcePower(const LegacyView &v)
+{
+    return v.sourcePower;
+}

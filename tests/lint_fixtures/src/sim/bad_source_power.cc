@@ -1,0 +1,14 @@
+// Fixture: the retired scalar harvest field must be flagged by
+// source-power anywhere outside src/harvest.  A mention in a
+// comment is fine: sourcePower here is not a finding.
+struct HarvestConfig
+{
+    double sourcePower = 60e-6; // finding (declaration)
+};
+
+double
+configureHarvest(HarvestConfig &cfg)
+{
+    cfg.sourcePower = 500e-6; // finding (assignment)
+    return cfg.sourcePower;   // finding (read)
+}

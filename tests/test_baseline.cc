@@ -110,7 +110,7 @@ TEST(CrossSystem, MouseBeatsSonicOnEnergyAndLatency)
     // Under harvesting at 60 uW, MOUSE still finishes faster than
     // SONIC does at the same source (Figure 9).
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     const RunStats mouse_h = runHarvestedTrace(trace, energy, harvest);
     const RunStats sonic_h = sonic.runHarvested(60e-6);
     EXPECT_LT(mouse_h.totalTime(), sonic_h.totalTime());

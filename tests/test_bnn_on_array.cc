@@ -139,7 +139,7 @@ TEST_F(BnnOnArray, MatchesSoftwareUnderHarvesting)
     seed(acc, rng);
     RunRequest req;
     req.power = PowerMode::Harvested;
-    req.harvest.sourcePower = 1e-6;
+    req.harvest.source = SourceSpec::constant(1e-6);
     req.harvest.capacitanceOverride = 1e-9;  // force outages
     const RunStats stats = acc.execute(req).stats;
     EXPECT_GT(stats.outages, 0u);

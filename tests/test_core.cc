@@ -94,7 +94,7 @@ TEST(Accelerator, RunHarvestedMatchesContinuous)
     seedAdder(harv);
     RunRequest req;
     req.power = PowerMode::Harvested;
-    req.harvest.sourcePower = 2e-6;
+    req.harvest.source = SourceSpec::constant(2e-6);
     const RunStats stats = harv.execute(req).stats;
 
     for (ColAddr c = 0; c < 4; ++c) {
@@ -118,7 +118,7 @@ TEST(Accelerator, TraceModesAgreeOnCycles)
     harvReq.fidelity = Fidelity::Trace;
     harvReq.trace = observe(trace);
     harvReq.power = PowerMode::Harvested;
-    harvReq.harvest.sourcePower = 1e-3;
+    harvReq.harvest.source = SourceSpec::constant(1e-3);
     const RunStats harv = acc.execute(harvReq).stats;
     EXPECT_EQ(cont.instructionsCommitted, harv.instructionsCommitted);
     // At 1 mW the whole program fits in one burst after the initial

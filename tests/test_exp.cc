@@ -94,11 +94,75 @@ TEST(SweepGrid, HarvestForAppliesPointAndBase)
     grid.harvestBase.nonTerminationLimit = 3;
     const exp::SweepPoint p = grid.at(grid.size() - 1);
     const HarvestConfig h = grid.harvestFor(p);
-    EXPECT_EQ(h.sourcePower, p.power);
+    EXPECT_EQ(h.source, p.source);
     EXPECT_EQ(h.checkpointPeriod, p.checkpointPeriod);
     EXPECT_EQ(h.seed, p.seed);
     EXPECT_EQ(h.converterEfficiency, 0.9);
     EXPECT_EQ(h.nonTerminationLimit, 3u);
+}
+
+// -- Scenario axes (docs/HARVESTING.md) -----------------------------
+
+/** smallGrid with the powers axis replaced by scenario sources and a
+ *  platform axis added. */
+exp::SweepGrid
+scenarioGrid()
+{
+    exp::SweepGrid grid = smallGrid();
+    grid.powers.clear();
+    grid.sources = {SourceSpec::constant(60e-6),
+                    SourceSpec::corpusTrace("rf-bursty"),
+                    SourceSpec::square(0.01, 0.3, 200e-6)};
+    grid.platforms = {"mementos", "nvp"};
+    return grid;
+}
+
+TEST(SweepGrid, SourcesAxisReplacesPowersInTheSizeProduct)
+{
+    const exp::SweepGrid grid = scenarioGrid();
+    // techs x benchmarks x platforms x sources x periods x seeds.
+    EXPECT_EQ(grid.size(), 2u * 1u * 2u * 3u * 2u * 1u * 2u);
+
+    // An empty platforms axis contributes radix 1, so classic grids
+    // keep their historical index -> point mapping (and seeds).
+    exp::SweepGrid classic = smallGrid();
+    const std::size_t before = classic.size();
+    classic.platforms.clear();
+    EXPECT_EQ(classic.size(), before);
+}
+
+TEST(SweepGrid, ScenarioDecodeCoversEveryCell)
+{
+    const exp::SweepGrid grid = scenarioGrid();
+    std::set<std::string> cells;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const exp::SweepPoint p = grid.at(i);
+        EXPECT_EQ(p.index, i);
+        EXPECT_TRUE(p.scenario);
+        EXPECT_FALSE(p.continuous());
+        EXPECT_LT(p.sourceSlot, grid.sources.size());
+        EXPECT_EQ(p.source, grid.sources[p.sourceSlot]);
+        // The headline power is the source's duty-weighted mean.
+        EXPECT_EQ(p.power, p.source.meanPower());
+        cells.insert(p.source.name() + "/" + p.platform);
+    }
+    // Every (source, platform) pair appears.
+    EXPECT_EQ(cells.size(),
+              grid.sources.size() * grid.platforms.size());
+}
+
+TEST(SweepGrid, HarvestForCarriesSourceAndPlatform)
+{
+    const exp::SweepGrid grid = scenarioGrid();
+    bool saw_platform = false;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const exp::SweepPoint p = grid.at(i);
+        const HarvestConfig h = grid.harvestFor(p);
+        EXPECT_EQ(h.source, p.source);
+        EXPECT_EQ(h.platform, p.platform);
+        saw_platform |= !h.platform.empty();
+    }
+    EXPECT_TRUE(saw_platform);
 }
 
 TEST(ExperimentRunner, ForEachVisitsEveryIndexOnce)
@@ -168,6 +232,31 @@ TEST(ExperimentRunner, StatsAreIdenticalAcrossThreadCounts)
     // point's stats serialization.
     EXPECT_EQ(toJson(serial.points[3].stats),
               toJson(parallel.points[3].stats));
+}
+
+TEST(ExperimentRunner, ScenarioSweepIsByteIdenticalAcrossThreads)
+{
+    // Corpus traces and platform presets must not break schedule
+    // determinism: serialize every point of a scenario sweep (stats
+    // and provenance, no wall clocks) and require identical bytes
+    // from 1 and 4 worker threads — the same contract CI enforces
+    // on bench_scenario_matrix.
+    const exp::SweepGrid grid = scenarioGrid();
+    const auto render = [&](const exp::SweepResult &res) {
+        std::string doc;
+        for (const RunResult &r : res.points) {
+            doc += r.meta.source + "/" + r.meta.platform + "/" +
+                   std::to_string(r.meta.seed) + ":" +
+                   toJson(r.stats) + "\n";
+        }
+        return doc;
+    };
+    const std::string serial =
+        render(exp::ExperimentRunner(1).run(grid));
+    const std::string parallel =
+        render(exp::ExperimentRunner(4).run(grid));
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("rf-bursty/nvp"), std::string::npos);
 }
 
 TEST(ExperimentRunner, CheckpointPeriodAxisChangesBackupEnergy)

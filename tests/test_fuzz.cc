@@ -156,7 +156,7 @@ TEST(Fuzz, HarvestedEqualsContinuousOverRandomPrograms)
         harv.loadProgram(prog);
         randomizeTiles(harv, data_rng2);
         HarvestConfig harvest;
-        harvest.sourcePower = 10e-6;
+        harvest.source = SourceSpec::constant(10e-6);
         harvest.capacitanceOverride = 2e-9;  // frequent outages
         harvest.seed = 777 + trial;
         RunRequest req;

@@ -1,15 +1,22 @@
 /**
  * @file
  * Tests for the energy-harvesting environment: capacitor physics,
- * power sources, and the switched-capacitor converter's rail
- * selection (paper Sections IV-C and VIII).
+ * power sources, the switched-capacitor converter's rail selection
+ * (paper Sections IV-C and VIII), and the scenario library — trace
+ * JSON round-trips, the embedded corpus, platform presets, and
+ * SourceSpec validation (docs/HARVESTING.md).
  */
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "harvest/capacitor.hh"
 #include "harvest/converter.hh"
+#include "harvest/platform.hh"
 #include "harvest/power_source.hh"
+#include "harvest/power_trace.hh"
+#include "harvest/source_spec.hh"
+#include "harvest/trace_corpus.hh"
 #include "logic/gate_library.hh"
 
 namespace mouse
@@ -75,6 +82,189 @@ TEST(PowerSource, TraceCyclesThroughSegments)
     EXPECT_EQ(src.power(1.5), 10e-6);
     EXPECT_EQ(src.power(2.9), 10e-6);
     EXPECT_EQ(src.power(3.5), 100e-6);  // wraps around
+}
+
+TEST(PowerSource, BinarySearchMatchesReferenceScanBitForBit)
+{
+    // The O(log n) threshold lookup must agree with the historical
+    // subtract-and-compare scan for EVERY phase, including ones where
+    // accumulated subtraction error makes the scan disagree with
+    // exact cumulative sums.  Re-run the scan here as the oracle.
+    Rng rng(12345);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<TracePowerSource::Segment> segs;
+        const std::size_t n = 1 + rng.below(7);
+        for (std::size_t i = 0; i < n; ++i) {
+            segs.push_back({1e-4 + rng.uniform() * 2.0,
+                            rng.uniform() * 1e-3});
+        }
+        const TracePowerSource src(segs);
+
+        auto scanPower = [&](Seconds t) {
+            Seconds phase = std::fmod(t, src.period());
+            for (const auto &s : segs) {
+                if (phase < s.duration) {
+                    return s.power;
+                }
+                phase -= s.duration;
+            }
+            return segs.back().power;
+        };
+
+        // Dense sweep plus adversarial phases hugging each boundary.
+        std::vector<Seconds> probes;
+        for (int i = 0; i < 400; ++i) {
+            probes.push_back(rng.uniform() * 3.0 * src.period());
+        }
+        Seconds edge = 0.0;
+        for (const auto &s : segs) {
+            edge += s.duration;
+            probes.push_back(std::nextafter(edge, 0.0));
+            probes.push_back(edge);
+            probes.push_back(std::nextafter(edge, 1e30));
+        }
+        for (Seconds t : probes) {
+            ASSERT_EQ(src.power(t), scanPower(t)) << "t=" << t;
+        }
+    }
+}
+
+TEST(PowerTrace, JsonRoundTripPreservesEverySegmentBit)
+{
+    PowerTrace trace;
+    trace.name = "unit \"probe\"";
+    trace.segments = {{0.125, 3.0000000000000004e-05},
+                      {2.5, 1e-12},
+                      {0.7071067811865476, 5e-3}};
+    PowerTraceError err;
+    const auto back = parsePowerTrace(trace.toJson(), &err);
+    ASSERT_TRUE(back.has_value()) << err.message;
+    EXPECT_EQ(back->name, trace.name);
+    ASSERT_EQ(back->segments.size(), trace.segments.size());
+    for (std::size_t i = 0; i < trace.segments.size(); ++i) {
+        EXPECT_EQ(back->segments[i], trace.segments[i]);
+    }
+    EXPECT_EQ(back->period(), trace.period());
+    EXPECT_EQ(back->meanPower(), trace.meanPower());
+}
+
+TEST(PowerTrace, ParserRejectsWithLineNumbers)
+{
+    PowerTraceError err;
+    EXPECT_FALSE(parsePowerTrace("{\"segments\":[]}", &err));
+    EXPECT_EQ(err.line, 1u);
+
+    // Wrong version, on line 2 of a pretty-printed document.
+    EXPECT_FALSE(parsePowerTrace(
+        // mouse-lint: allow(schema-constants) -- malformed-input
+        // fixture: a wrong inline version is the point.
+        "{\n\"trace_schema\": 99,\n\"segments\":[]}", &err));
+    EXPECT_EQ(err.line, 2u);
+    EXPECT_NE(err.message.find("99"), std::string::npos);
+
+    // A segment missing its power, on its own line.
+    const auto bad = parsePowerTrace(
+        // mouse-lint: allow(schema-constants) -- malformed-input
+        // fixture with a valid header and a broken segment.
+        "{\"trace_schema\":1,\"segments\":[\n{\"duration_s\":1}\n]}",
+        &err);
+    EXPECT_FALSE(bad);
+    EXPECT_EQ(err.line, 2u);
+
+    EXPECT_FALSE(parsePowerTrace("not json at all", &err));
+    EXPECT_FALSE(parsePowerTrace(
+        // mouse-lint: allow(schema-constants) -- malformed-input
+        // fixture: negative duration behind a valid header.
+        "{\"trace_schema\":1,\"segments\":[{\"duration_s\":-1,"
+        "\"power_w\":1e-6}]}",
+        &err));
+}
+
+TEST(TraceCorpus, ShipsNamedValidatedTraces)
+{
+    const auto names = corpusTraceNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "solar-day-night");
+    EXPECT_EQ(names[1], "rf-bursty");
+    EXPECT_EQ(names[2], "piezo-impulse");
+    for (const std::string &name : names) {
+        const PowerTrace *t = corpusTrace(name);
+        ASSERT_NE(t, nullptr);
+        EXPECT_EQ(t->name, name);
+        EXPECT_GT(t->period(), 0.0);
+        EXPECT_GT(t->meanPower(), 0.0);
+        // Round-trip: the shipped JSON parses back to itself.
+        const auto back = parsePowerTrace(t->toJson());
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->segments, t->segments);
+    }
+    EXPECT_EQ(corpusTrace("fusion-reactor"), nullptr);
+}
+
+TEST(Platform, CatalogNamesDatasheetPresets)
+{
+    ASSERT_EQ(platformNames().size(), 3u);
+    const Platform *mementos = platformByName("mementos");
+    ASSERT_NE(mementos, nullptr);
+    EXPECT_EQ(mementos->capacitance, 10e-6);
+    const Platform *nvp = platformByName("nvp");
+    ASSERT_NE(nvp, nullptr);
+    EXPECT_GT(nvp->converterEfficiency,
+              platformByName("batteryless")->converterEfficiency);
+    EXPECT_EQ(platformByName("unknown-board"), nullptr);
+}
+
+TEST(SourceSpec, DefaultIsThePaperConstantModel)
+{
+    const SourceSpec def;
+    EXPECT_TRUE(def.isConstant());
+    EXPECT_TRUE(def.valid());
+    EXPECT_EQ(def.constantPower, 60e-6);
+    EXPECT_EQ(def.name(), "constant");
+    EXPECT_EQ(def.meanPower(), 60e-6);
+}
+
+TEST(SourceSpec, ValidationNamesTheProblem)
+{
+    std::string why;
+    EXPECT_FALSE(SourceSpec::constant(0.0).valid(&why));
+    EXPECT_FALSE(why.empty());
+
+    EXPECT_FALSE(
+        SourceSpec::trace(std::vector<TracePowerSource::Segment>{})
+            .valid(&why));
+
+    // A trace that never delivers power can never charge.
+    EXPECT_FALSE(SourceSpec::trace({{1.0, 0.0}, {2.0, 0.0}})
+                     .valid(&why));
+    EXPECT_NE(why.find("never delivers power"), std::string::npos);
+
+    EXPECT_FALSE(SourceSpec::corpusTrace("marsdust").valid(&why));
+    EXPECT_NE(why.find("solar-day-night"), std::string::npos);
+
+    EXPECT_FALSE(SourceSpec::square(1.0, 1.5, 1e-3).valid(&why));
+    EXPECT_FALSE(SourceSpec::square(0.0, 0.5, 1e-3).valid(&why));
+
+    EXPECT_TRUE(SourceSpec::corpusTrace("rf-bursty").valid());
+    EXPECT_TRUE(SourceSpec::square(0.01, 0.3, 200e-6).valid());
+}
+
+TEST(SourceSpec, MakeMaterializesTheDescribedSource)
+{
+    const auto constant = SourceSpec::constant(5e-3).make();
+    EXPECT_EQ(constant->power(123.0), 5e-3);
+    EXPECT_EQ(constant->period(), 0.0);
+
+    const auto square = SourceSpec::square(0.01, 0.3, 200e-6).make();
+    EXPECT_EQ(square->power(0.001), 200e-6);
+    EXPECT_EQ(square->power(0.005), 0.0);
+    // The period is the sum of the on and off segments, not the
+    // requested value bit-for-bit.
+    EXPECT_DOUBLE_EQ(square->period(), 0.01);
+
+    const auto corpus = SourceSpec::corpusTrace("rf-bursty").make();
+    EXPECT_EQ(corpus->period(),
+              corpusTrace("rf-bursty")->period());
 }
 
 TEST(Converter, PicksLowestSufficientRail)

@@ -79,6 +79,20 @@ class LintFixtureCorpus(unittest.TestCase):
         self.expect("src/obs/bad_float_accumulate.cc", 16,
                     "float-accumulate")
 
+    def test_source_power_bad(self):
+        path = "src/sim/bad_source_power.cc"
+        self.expect(path, 6, "source-power")
+        self.expect(path, 12, "source-power")
+        self.expect(path, 13, "source-power")
+        # Only the three code mentions: the comment on line 3 is not
+        # a finding.
+        rules = [f["line"] for f in self.by_file[path]]
+        self.assertEqual(sorted(rules), [6, 12, 13])
+
+    def test_source_power_allowed_under_harvest(self):
+        self.assertNotIn("src/harvest/allowed_source_power.cc",
+                         self.by_file)
+
     def test_good_files_are_silent(self):
         good = [p for p in self.by_file
                 if "/good_" in p or "/allowed_" in p
@@ -122,7 +136,7 @@ class LintReportSchema(unittest.TestCase):
         rule_ids = {x["id"] for x in r["rules"]}
         self.assertEqual(rule_ids, {
             "unordered-iteration", "host-clock", "schema-constants",
-            "obs-hook-args", "float-accumulate"})
+            "obs-hook-args", "float-accumulate", "source-power"})
         for x in r["rules"]:
             self.assertTrue(x["description"])
 

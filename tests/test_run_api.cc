@@ -68,12 +68,13 @@ TEST(RunApi, HarvestedMetaEcho)
     acc.loadProgram(adderProgram(acc));
     RunRequest req;
     req.power = PowerMode::Harvested;
-    req.harvest.sourcePower = 2e-6;
+    req.harvest.source = SourceSpec::constant(2e-6);
     req.harvest.seed = 99;
     const RunResult got = acc.execute(req);
     EXPECT_TRUE(got.ok());
     EXPECT_EQ(got.meta.seed, 99u);
-    EXPECT_EQ(got.meta.sourcePower, 2e-6);
+    EXPECT_EQ(got.meta.power, 2e-6);
+    EXPECT_EQ(got.meta.source, "constant");
 }
 
 TEST(RunApi, LabelIsEchoedIntoMeta)
@@ -193,6 +194,48 @@ TEST(RunApi, ScheduledTraceFidelityIsRejected)
     expectRejected(acc, req, RunError::kScheduledTraceFidelity);
 }
 
+TEST(RunApi, InvalidHarvestSourceIsRejected)
+{
+    Accelerator acc(smallConfig());
+    RunRequest req;
+    req.power = PowerMode::Harvested;
+    req.harvest.source = SourceSpec::constant(0.0);
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kHarvestSourceInvalid);
+    expectRejected(acc, req, RunError::kHarvestSourceInvalid);
+
+    req.harvest.source =
+        SourceSpec::trace(std::vector<TracePowerSource::Segment>{});
+    expectRejected(acc, req, RunError::kHarvestSourceInvalid);
+
+    req.harvest.source = SourceSpec::corpusTrace("no-such-trace");
+    expectRejected(acc, req, RunError::kHarvestSourceInvalid);
+
+    req.harvest.source = SourceSpec::square(0.01, 1.5, 200e-6);
+    expectRejected(acc, req, RunError::kHarvestSourceInvalid);
+}
+
+TEST(RunApi, UnknownHarvestPlatformIsRejected)
+{
+    Accelerator acc(smallConfig());
+    RunRequest req;
+    req.power = PowerMode::Harvested;
+    req.harvest.platform = "mars-rover";
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kHarvestPlatformUnknown);
+    expectRejected(acc, req, RunError::kHarvestPlatformUnknown);
+
+    // A catalog name passes validation.
+    req.harvest.platform = "mementos";
+    EXPECT_EQ(validateRunRequest(req), RunError::kNone);
+
+    // The source is checked before the platform.
+    req.harvest.source = SourceSpec::constant(-1.0);
+    req.harvest.platform = "mars-rover";
+    EXPECT_EQ(validateRunRequest(req),
+              RunError::kHarvestSourceInvalid);
+}
+
 TEST(RunApi, RunErrorNamesAndMessagesAreStable)
 {
     EXPECT_STREQ(runErrorName(RunError::kNone), "none");
@@ -208,6 +251,10 @@ TEST(RunApi, RunErrorNamesAndMessagesAreStable)
         "max_attempts_without_scheduled_power");
     EXPECT_STREQ(runErrorName(RunError::kScheduledTraceFidelity),
                  "scheduled_trace_fidelity");
+    EXPECT_STREQ(runErrorName(RunError::kHarvestSourceInvalid),
+                 "harvest_source_invalid");
+    EXPECT_STREQ(runErrorName(RunError::kHarvestPlatformUnknown),
+                 "harvest_platform_unknown");
     // Every message spells out the fix.
     EXPECT_NE(std::string(runErrorMessage(RunError::kTraceMissing))
                   .find("req.trace"),
@@ -246,11 +293,11 @@ TEST(RunApi, BuilderProducesValidRequests)
     EXPECT_EQ(cont.label, "c");
 
     HarvestConfig h;
-    h.sourcePower = 3e-6;
+    h.source = SourceSpec::constant(3e-6);
     const RunRequest harv =
         RunRequestBuilder().harvested(h).build();
     EXPECT_EQ(validateRunRequest(harv), RunError::kNone);
-    EXPECT_EQ(harv.harvest.sourcePower, 3e-6);
+    EXPECT_EQ(harv.harvest.source.constantPower, 3e-6);
 
     OutageSchedule s;
     const RunRequest sched =
@@ -273,6 +320,48 @@ TEST(RunApi, BuilderModeSwitchesClearStaleFields)
     EXPECT_EQ(validateRunRequest(req), RunError::kNone);
     EXPECT_FALSE(req.schedule);
     EXPECT_EQ(req.maxAttempts, 0u);
+}
+
+TEST(RunApi, BuilderTracedSourceDropsStaleScheduleFields)
+{
+    // scheduled() then tracedSource(): the new harvested request
+    // must not keep the outage schedule or attempt guard.
+    OutageSchedule s;
+    const RunRequest req =
+        RunRequestBuilder()
+            .scheduled(s, 9)
+            .tracedSource(SourceSpec::corpusTrace("rf-bursty"))
+            .build();
+    EXPECT_EQ(validateRunRequest(req), RunError::kNone);
+    EXPECT_EQ(req.power, PowerMode::Harvested);
+    EXPECT_FALSE(req.schedule);
+    EXPECT_EQ(req.maxAttempts, 0u);
+    EXPECT_EQ(req.harvest.source.corpus, "rf-bursty");
+}
+
+TEST(RunApi, BuilderPlatformComposesWithSources)
+{
+    OutageSchedule s;
+    const RunRequest req = RunRequestBuilder()
+                               .scheduled(s, 9)
+                               .platform("nvp")
+                               .build();
+    EXPECT_EQ(validateRunRequest(req), RunError::kNone);
+    EXPECT_EQ(req.power, PowerMode::Harvested);
+    EXPECT_FALSE(req.schedule);
+    EXPECT_EQ(req.harvest.platform, "nvp");
+    // Default source survives a platform-only selection.
+    EXPECT_TRUE(req.harvest.source.isConstant());
+
+    // Order does not matter: source then platform keeps both.
+    const RunRequest both =
+        RunRequestBuilder()
+            .tracedSource(SourceSpec::square(0.01, 0.3, 200e-6))
+            .platform("batteryless")
+            .build();
+    EXPECT_EQ(validateRunRequest(both), RunError::kNone);
+    EXPECT_EQ(both.harvest.source.kind, SourceKind::kSquare);
+    EXPECT_EQ(both.harvest.platform, "batteryless");
 }
 
 // -- Asynchronous submit/poll/wait ----------------------------------
@@ -342,7 +431,7 @@ TEST(RunApi, SubmittedInvalidRequestCarriesTypedError)
     EXPECT_TRUE(res.serve.present);
 }
 
-TEST(RunApi, ServeJsonBlockIsSchemaV4)
+TEST(RunApi, ServeJsonBlockIsSchemaV5)
 {
     Accelerator acc(smallConfig());
     acc.loadProgram(adderProgram(acc));
@@ -351,7 +440,7 @@ TEST(RunApi, ServeJsonBlockIsSchemaV4)
     // mouse-lint: allow(schema-constants) -- golden pin: the test
     // hardcodes the published version on purpose, so an accidental
     // bump of the central constant fails here.
-    EXPECT_NE(direct.toJson().find("\"schema\":4"),
+    EXPECT_NE(direct.toJson().find("\"schema\":5"),
               std::string::npos);
     EXPECT_EQ(direct.toJson().find("\"serve\":"),
               std::string::npos);

@@ -272,7 +272,7 @@ TEST(Serve, FlushCutsPartialBatchesAndCountsIdleSlots)
     EXPECT_EQ(reg->counterValue("serve.requests"), 3.0);
 }
 
-TEST(Serve, ReportJsonCarriesSchemaV4ServeBlock)
+TEST(Serve, ReportJsonCarriesSchemaV5ServeBlock)
 {
     Rng modelRng(31);
     InferenceService svc(smallConfig(2));
@@ -286,7 +286,7 @@ TEST(Serve, ReportJsonCarriesSchemaV4ServeBlock)
     // mouse-lint: allow(schema-constants) -- golden pin: the test
     // hardcodes the published version on purpose, so an accidental
     // bump of the central constant fails here.
-    EXPECT_NE(j.find("\"schema\":4"), std::string::npos);
+    EXPECT_NE(j.find("\"schema\":5"), std::string::npos);
     EXPECT_NE(j.find("\"serve_report\":"), std::string::npos);
     EXPECT_NE(j.find("\"requests\":6"), std::string::npos);
     EXPECT_NE(j.find("\"throughput_per_s\":"), std::string::npos);
@@ -424,7 +424,7 @@ TEST(Serve, HarvestedServingAttributesOutageStalls)
     cfg.harvested = true;
     // Weak harvester + tiny buffer capacitor: each pass browns out
     // repeatedly (the burst covers only a handful of instructions).
-    cfg.harvest.sourcePower = 1e-6;
+    cfg.harvest.source = SourceSpec::constant(1e-6);
     cfg.harvest.capacitanceOverride = 2e-10;
     obs::MetricsHub hub;
     InferenceService svc(cfg);

@@ -145,7 +145,7 @@ TEST_F(SimTest, HarvestedFunctionalMatchesContinuousResults)
             Controller ctrl(grid, imem, energy);
 
             HarvestConfig harvest;
-            harvest.sourcePower = power;
+            harvest.source = SourceSpec::constant(power);
             harvest.seed = seed_v;
             const RunStats stats =
                 runHarvestedFunctional(ctrl, harvest);
@@ -168,7 +168,7 @@ TEST_F(SimTest, HarvestedTraceBreakdownAccounting)
     EnergyModel energy(lib_);
 
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     const RunStats stats = runHarvestedTrace(trace, energy, harvest);
 
     EXPECT_EQ(stats.instructionsCommitted, trace.totalInstructions());
@@ -195,7 +195,7 @@ TEST_F(SimTest, LatencyFallsAsPowerRises)
     Seconds prev = 1e18;
     for (Watts power : {1e-6, 10e-6, 100e-6, 1e-3}) {
         HarvestConfig harvest;
-        harvest.sourcePower = power;
+        harvest.source = SourceSpec::constant(power);
         const RunStats stats =
             runHarvestedTrace(trace, energy, harvest);
         EXPECT_LT(stats.totalTime(), prev) << "power " << power;
@@ -213,9 +213,9 @@ TEST_F(SimTest, EnergyNearlyIndependentOfPower)
     EnergyModel energy(lib_);
 
     HarvestConfig lo;
-    lo.sourcePower = 1e-6;
+    lo.source = SourceSpec::constant(1e-6);
     HarvestConfig hi;
-    hi.sourcePower = 1e-3;
+    hi.source = SourceSpec::constant(1e-3);
     const RunStats slow = runHarvestedTrace(trace, energy, lo);
     const RunStats fast = runHarvestedTrace(trace, energy, hi);
     EXPECT_NEAR(slow.totalEnergy(), fast.totalEnergy(),
@@ -237,7 +237,7 @@ TEST_F(SimTest, MoreOutagesAtLowerPowerAndDeadEnergyOrdering)
         imem.load(prog.encode());
         Controller ctrl(grid, imem, energy);
         HarvestConfig harvest;
-        harvest.sourcePower = power;
+        harvest.source = SourceSpec::constant(power);
         const RunStats stats = runHarvestedFunctional(ctrl, harvest);
         EXPECT_LE(stats.outages, prev_outages);
         EXPECT_EQ(stats.instructionsDead, stats.outages);
@@ -269,7 +269,7 @@ TEST_F(SimTest, CheckpointPeriodTradeoff)
     EnergyModel energy(lib_);
 
     HarvestConfig base;
-    base.sourcePower = 1e-6;
+    base.source = SourceSpec::constant(1e-6);
     base.capacitanceOverride = 2e-9;  // force outages
     const RunStats p1 = runHarvestedTrace(trace, energy, base);
     ASSERT_GT(p1.outages, 0u);
@@ -292,7 +292,7 @@ TEST_F(SimTest, CheckpointPeriodOneIsDefaultBehaviour)
     const Trace trace = Trace::fromProgram(prog, cfg_);
     EnergyModel energy(lib_);
     HarvestConfig a;
-    a.sourcePower = 10e-6;
+    a.source = SourceSpec::constant(10e-6);
     HarvestConfig b = a;
     b.checkpointPeriod = 1;
     const RunStats ra = runHarvestedTrace(trace, energy, a);
@@ -371,7 +371,7 @@ TEST(SimNonTermination, DetectedAndFatal)
     trace.append(Opcode::kGateNand2, 1024, 1024, 10);
 
     HarvestConfig harvest;
-    harvest.sourcePower = 60e-6;
+    harvest.source = SourceSpec::constant(60e-6);
     EXPECT_EXIT(
         {
             // Shrink the buffer via a custom config: reuse modern

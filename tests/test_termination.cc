@@ -130,9 +130,9 @@ TEST(TimeVaryingSource, SolarTraceChargesThroughNight)
     const EnergyModel energy(lib);
     const Trace trace = smallTrace(lib);
 
-    TracePowerSource solar({{1e-3, 200e-6}, {3e-3, 2e-6}});
     HarvestConfig harvest;
-    harvest.source = &solar;
+    harvest.source =
+        SourceSpec::trace({{1e-3, 200e-6}, {3e-3, 2e-6}});
     harvest.capacitanceOverride = 400e-12;  // force many outages
     const RunStats stats = runHarvestedTrace(trace, energy, harvest);
     EXPECT_EQ(stats.instructionsCommitted,
@@ -143,10 +143,10 @@ TEST(TimeVaryingSource, SolarTraceChargesThroughNight)
     // faster than the bursty trace is at its *minimum* power and
     // slower than at its maximum.
     HarvestConfig max_cfg;
-    max_cfg.sourcePower = 200e-6;
+    max_cfg.source = SourceSpec::constant(200e-6);
     max_cfg.capacitanceOverride = 400e-12;
     HarvestConfig min_cfg;
-    min_cfg.sourcePower = 2e-6;
+    min_cfg.source = SourceSpec::constant(2e-6);
     min_cfg.capacitanceOverride = 400e-12;
     const RunStats at_max =
         runHarvestedTrace(trace, energy, max_cfg);
@@ -164,7 +164,7 @@ TEST(TimeVaryingSource, StrongSourceSustainsExecution)
     const EnergyModel energy(lib);
     const Trace trace = smallTrace(lib);
     HarvestConfig harvest;
-    harvest.sourcePower = 50e-3;  // 50 mW >> draw
+    harvest.source = SourceSpec::constant(50e-3);  // 50 mW >> draw
     const RunStats stats = runHarvestedTrace(trace, energy, harvest);
     EXPECT_EQ(stats.outages, 0u);
 }

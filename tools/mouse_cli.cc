@@ -72,6 +72,9 @@
 #include "common/rng.hh"
 #include "common/schema_versions.hh"
 #include "energy/area_model.hh"
+#include "harvest/platform.hh"
+#include "harvest/power_trace.hh"
+#include "harvest/trace_corpus.hh"
 #include "exp/names.hh"
 #include "exp/runner.hh"
 #include "inject/campaign.hh"
@@ -92,9 +95,11 @@ usage()
         stderr,
         "usage: mouse_cli <command> [args]\n"
         "  info    [--tech T] [--json]\n"
-        "  bench   NAME [--tech T] [--power WATTS] [--continuous] "
-        "[--json]\n"
-        "  sweep   NAME [--tech T] [--threads N] [--json]\n"
+        "  bench   NAME [--tech T] [--power WATTS | --power-trace "
+        "SRC]\n"
+        "          [--platform P] [--continuous] [--json]\n"
+        "  sweep   NAME [--tech T] [--threads N] [--power-trace SRC]\n"
+        "          [--platform P] [--json]\n"
         "  analyze NAME [--tech T]\n"
         "  area    MB [--tech T]\n"
         "  inject  [--workload W] [--sonic-window N] [--no-journal]\n"
@@ -106,7 +111,8 @@ usage()
         "          [--stream PATH] [--json] [--trace-out PATH]\n"
         "          [--metrics-out PATH] [--metrics-interval-ms N]\n"
         "          [--watchdog-ms N] [--harvest-power WATTS]\n"
-        "          [--harvest-cap FARADS]\n"
+        "          [--harvest-cap FARADS] [--power-trace SRC]\n"
+        "          [--platform P]\n"
         "  metrics-summary PATH\n"
         "  list\n"
         "bench/sweep outputs:\n"
@@ -120,7 +126,11 @@ usage()
         "  --progress           force the stderr progress/ETA line\n"
         "tech: modern-stt | projected-stt | she\n"
         "benchmarks: mnist mnist-bin har adult finn fpbnn\n"
-        "inject workloads: see `mouse_cli list`\n");
+        "inject workloads: see `mouse_cli list`\n"
+        "--power-trace SRC: a corpus trace name (solar-day-night,\n"
+        "  rf-bursty, piezo-impulse) or a trace_schema-1 JSON file;\n"
+        "--platform P: mementos | nvp | batteryless capacitor preset\n"
+        "  (docs/HARVESTING.md)\n");
     return 2;
 }
 
@@ -218,6 +228,12 @@ struct Options
     /** serve: buffer-capacitance override for harvested serving
      *  (0 keeps the tech's buffer). */
     double harvestCap = 0.0;
+    /** bench/sweep/serve: harvesting scenario — a corpus trace name
+     *  or the path of a trace_schema-1 JSON file (empty = off). */
+    std::string powerTrace;
+    /** bench/sweep/serve: platform preset name (empty = tech
+     *  defaults). */
+    std::string platformName;
 };
 
 /**
@@ -396,6 +412,7 @@ constexpr const char *kAllFlags[] = {
     "--requests",     "--model",      "--batch",
     "--stream",       "--metrics-out", "--metrics-interval-ms",
     "--watchdog-ms",  "--harvest-power", "--harvest-cap",
+    "--power-trace",  "--platform",
 };
 
 /** Flags that are pure switches; every other flag consumes a value. */
@@ -441,11 +458,13 @@ constexpr const char *kBenchFlags[] = {
     "--tech",      "--power",        "--continuous",
     "--json",      "--stats-out",    "--trace-out",
     "--waveform-out", "--json-out",  "--progress",
+    "--power-trace", "--platform",
 };
 constexpr const char *kSweepFlags[] = {
     "--tech",      "--threads",      "--json",
     "--stats-out", "--trace-out",    "--waveform-out",
-    "--json-out",  "--progress",
+    "--json-out",  "--progress",     "--power-trace",
+    "--platform",
 };
 constexpr const char *kAnalyzeFlags[] = {"--tech"};
 constexpr const char *kAreaFlags[] = {"--tech"};
@@ -460,7 +479,8 @@ constexpr const char *kServeFlags[] = {
     "--threads", "--seed",      "--stream",    "--json",
     "--json-out", "--stats-out", "--progress", "--trace-out",
     "--metrics-out", "--metrics-interval-ms", "--watchdog-ms",
-    "--harvest-power", "--harvest-cap",
+    "--harvest-power", "--harvest-cap", "--power-trace",
+    "--platform",
 };
 
 constexpr CommandSpec kCommands[] = {
@@ -685,6 +705,21 @@ parseFlags(int argc, char **argv, int start, const CommandSpec &spec,
                              val);
                 return false;
             }
+        } else if (!std::strcmp(flag, "--power-trace")) {
+            opts.powerTrace = val;
+        } else if (!std::strcmp(flag, "--platform")) {
+            if (platformByName(val) == nullptr) {
+                std::fprintf(stderr,
+                             "--platform: unknown platform '%s' "
+                             "(want:",
+                             val);
+                for (const std::string &name : platformNames()) {
+                    std::fprintf(stderr, " %s", name.c_str());
+                }
+                std::fprintf(stderr, ")\n");
+                return false;
+            }
+            opts.platformName = val;
         }
     }
     return true;
@@ -755,6 +790,37 @@ checkRunOk(const RunResult &r)
     return false;
 }
 
+std::optional<std::string> readFile(const std::string &path);
+
+/**
+ * Resolve a --power-trace argument before anything simulates: a
+ * corpus trace name wins, anything else is read as a trace_schema-1
+ * JSON file.  A missing file, malformed JSON, or wrong trace_schema
+ * prints a "path:line: message" error and fails (exit 2 upstream),
+ * matching the strict up-front validation of every other flag.
+ */
+bool
+resolveSourceSpec(const std::string &arg, SourceSpec &out)
+{
+    if (const PowerTrace *t = corpusTrace(arg)) {
+        out = SourceSpec::corpusTrace(t->name);
+        return true;
+    }
+    const auto text = readFile(arg);
+    if (!text) {
+        return false;
+    }
+    PowerTraceError err;
+    const auto trace = parsePowerTrace(*text, &err);
+    if (!trace) {
+        std::fprintf(stderr, "mouse_cli: %s:%zu: %s\n", arg.c_str(),
+                     err.line, err.message.c_str());
+        return false;
+    }
+    out = SourceSpec::trace(*trace);
+    return true;
+}
+
 /** One-point grid for `bench`: reuses the runner end to end. */
 int
 cmdBench(const exp::Benchmark &b, const Options &opts)
@@ -766,8 +832,25 @@ cmdBench(const exp::Benchmark &b, const Options &opts)
     exp::SweepGrid grid;
     grid.techs = {opts.tech};
     grid.benchmarks = {b};
-    grid.powers = {opts.continuous ? exp::kContinuousPower
-                                   : opts.power};
+    if (!opts.powerTrace.empty()) {
+        if (opts.continuous) {
+            std::fprintf(stderr,
+                         "--continuous and --power-trace are "
+                         "mutually exclusive\n");
+            return 2;
+        }
+        SourceSpec spec;
+        if (!resolveSourceSpec(opts.powerTrace, spec)) {
+            return 2;
+        }
+        grid.sources = {spec};
+    } else {
+        grid.powers = {opts.continuous ? exp::kContinuousPower
+                                       : opts.power};
+    }
+    if (!opts.platformName.empty()) {
+        grid.platforms = {opts.platformName};
+    }
     grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(1);
     const exp::SweepResult res = runner.run(grid);
@@ -811,7 +894,18 @@ cmdSweep(const exp::Benchmark &b, const Options &opts)
     exp::SweepGrid grid;
     grid.techs = {opts.tech};
     grid.benchmarks = {b};
-    grid.powers = exp::powerSweep();
+    if (!opts.powerTrace.empty()) {
+        SourceSpec spec;
+        if (!resolveSourceSpec(opts.powerTrace, spec)) {
+            return 2;
+        }
+        grid.sources = {spec};
+    } else {
+        grid.powers = exp::powerSweep();
+    }
+    if (!opts.platformName.empty()) {
+        grid.platforms = {opts.platformName};
+    }
     grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(opts.threads);
     ProgressMeter meter;
@@ -838,8 +932,8 @@ cmdSweep(const exp::Benchmark &b, const Options &opts)
     for (std::size_t i = 0; i < res.points.size(); ++i) {
         const RunStats &s = res.points[i].stats;
         std::printf("%9.0f uW %16.0f %14.3f %10llu\n",
-                    grid.powers[i] * 1e6, s.totalTime() * 1e6,
-                    s.totalEnergy() * 1e6,
+                    res.points[i].meta.power * 1e6,
+                    s.totalTime() * 1e6, s.totalEnergy() * 1e6,
                     static_cast<unsigned long long>(s.outages));
     }
     // Timing goes to stderr so stdout stays byte-identical across
@@ -1179,9 +1273,25 @@ cmdServe(const Options &opts)
     cfg.engine.array.numInstructionTiles = 4096;
     cfg.workers = opts.threads > 0 ? opts.threads : 1;
     cfg.maxBatch = opts.maxBatch;
-    if (opts.harvestPower > 0.0) {
+    if (opts.harvestPower > 0.0 || !opts.powerTrace.empty() ||
+        !opts.platformName.empty()) {
         cfg.harvested = true;
-        cfg.harvest.sourcePower = opts.harvestPower;
+        if (!opts.powerTrace.empty()) {
+            if (opts.harvestPower > 0.0) {
+                std::fprintf(stderr,
+                             "--harvest-power and --power-trace are "
+                             "mutually exclusive\n");
+                return 2;
+            }
+            if (!resolveSourceSpec(opts.powerTrace,
+                                   cfg.harvest.source)) {
+                return 2;
+            }
+        } else if (opts.harvestPower > 0.0) {
+            cfg.harvest.source =
+                SourceSpec::constant(opts.harvestPower);
+        }
+        cfg.harvest.platform = opts.platformName;
         if (opts.harvestCap > 0.0) {
             cfg.harvest.capacitanceOverride = opts.harvestCap;
         }

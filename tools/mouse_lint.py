@@ -423,6 +423,26 @@ def check_float_accumulate(sf, findings):
                 sf.raw_lines[i - 1]))
 
 
+SOURCE_POWER_RE = re.compile(r"\bsourcePower\b")
+
+
+@rule("source-power",
+      "the scalar HarvestConfig::sourcePower field was replaced by "
+      "SourceSpec (docs/HARVESTING.md); outside src/harvest the "
+      "identifier must not reappear")
+def check_source_power(sf, findings):
+    if under(sf.relpath, ("src/harvest",)):
+        return
+    for i, line in enumerate(sf.code_lines, start=1):
+        if SOURCE_POWER_RE.search(line):
+            findings.append(Finding(
+                "source-power", sf.relpath, i,
+                "sourcePower is the retired scalar harvest field; "
+                "describe the environment with a SourceSpec "
+                "(SourceSpec::constant(w) for the old meaning)",
+                sf.raw_lines[i - 1]))
+
+
 # -- File discovery ---------------------------------------------------
 
 def load_compile_commands(path, root):
