@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "baseline/sonic_scheme.hh"
 #include "workloads.hh"
 
 using namespace mouse;
@@ -65,13 +66,13 @@ main(int argc, char **argv)
         bench::printRule(120);
     }
 
-    // SONIC reference series.
+    // SONIC reference series, through the scheme entry points
+    // (docs/BASELINES.md).
     for (const auto &sb : {sonicMnist(), sonicHar()}) {
-        const SonicModel sonic(sb);
         std::printf("%-14s %-18s", "MSP430", sb.name.c_str());
         for (Watts p : grid.powers) {
             std::printf(" %13.0f",
-                        sonic.runHarvested(p).totalTime() * 1e6);
+                        sonicRunHarvested(sb, p).totalTime() * 1e6);
         }
         std::printf("\n");
     }

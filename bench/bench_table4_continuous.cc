@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "baseline/cpu.hh"
+#include "baseline/sonic_scheme.hh"
 #include "workloads.hh"
 
 using namespace mouse;
@@ -140,8 +141,7 @@ main()
     std::printf("\nSONIC [paper-reported reference]\n");
     printHeader();
     for (const auto &bench : {sonicMnist(), sonicHar()}) {
-        const SonicModel model(bench);
-        const RunStats run = model.runContinuous();
+        const RunStats run = sonicRunContinuous(bench);
         std::printf("%-22s %13.0f %13.0f %8s %14s %10s %9.2f\n",
                     bench.name.c_str(), run.totalTime() * 1e6,
                     run.totalEnergy() * 1e6, "-", "0.256", "> 100",

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Datasheet constants of the modeled intermittent MCU baseline
+ * (docs/BASELINES.md).
+ *
+ * The MCU the paper's SONIC comparison implies — a TI MSP430FR5994
+ * class microcontroller with FRAM — is modeled the way eh-sim models
+ * NVP platforms: a flat per-instruction energy (the Mementos-measured
+ * mean over the MSP430 mix) and per-scheme backup/restore costs taken
+ * from the published platform measurements:
+ *
+ *  - backup-every-cycle (BEC): a non-volatile flip-flop shadow write
+ *    each cycle, as in the NVP "backup every cycle" architecture;
+ *  - on-demand-all-backup (ODAB): one full register-file + SR flush
+ *    to NVM when the brown-out detector fires;
+ *  - Clank: hardware WAR-hazard detection with register checkpoints
+ *    at idempotent region boundaries (Hicks, ISCA'17), a small
+ *    per-instruction monitoring overhead plus a per-boundary
+ *    checkpoint cost.
+ *
+ * All energies in Joules, all times in seconds.  These constants are
+ * the *only* calibration of src/baseline/mcu; everything else is
+ * derived, so a different platform is one edit away.
+ */
+
+#ifndef MOUSE_BASELINE_MCU_DATASHEET_HH
+#define MOUSE_BASELINE_MCU_DATASHEET_HH
+
+namespace mouse::mcu
+{
+
+// -- Core ---------------------------------------------------------------
+
+/** MSP430FR5994 system clock the model runs at. */
+inline constexpr double kCpuFrequencyHz = 8.0e6;
+
+/** Mean energy of one 16-bit MCU instruction (Mementos, Section 5:
+ *  ~2 nJ per instruction at 3 V on MSP430F1232-class cores; FRAM
+ *  parts measure in the same range). */
+inline constexpr double kInstructionEnergy = 2.0e-9;
+
+/** Cycles per (modeled) MCU instruction; FRAM wait states average
+ *  out near 1 CPI at 8 MHz. */
+inline constexpr double kCyclesPerInstruction = 1.0;
+
+// -- Scheme constants ---------------------------------------------------
+
+/** BEC: energy of the per-cycle flip-flop shadow write (NVP). */
+inline constexpr double kBecBackupEnergy = 0.125e-9;
+/** BEC: the shadow write hides in the cycle; restart re-latches the
+ *  flip-flops. */
+inline constexpr double kBecRestoreEnergy = 0.125e-9;
+inline constexpr double kBecRestoreCycles = 4.0;
+
+/** ODAB: one just-in-time full-state backup on brown-out (16 regs +
+ *  SR + PC to FRAM). */
+inline constexpr double kOdabBackupEnergy = 0.75e-9 * 18.0;
+inline constexpr double kOdabBackupCycles = 68.0;
+inline constexpr double kOdabRestoreEnergy = 0.75e-9 * 18.0;
+inline constexpr double kOdabRestoreCycles = 68.0;
+
+/** Clank: per-instruction WAR-monitor overhead (~2.5 % runtime). */
+inline constexpr double kClankPerOpEnergy = 0.05e-9;
+inline constexpr double kClankPerOpCycles = 0.025;
+/** Clank: register checkpoint written at each idempotent-region
+ *  boundary crossed during execution. */
+inline constexpr double kClankCheckpointEnergy = 0.75e-9 * 18.0;
+inline constexpr double kClankCheckpointCycles = 40.0;
+inline constexpr double kClankRestoreEnergy = 0.75e-9 * 18.0;
+inline constexpr double kClankRestoreCycles = 68.0;
+/** Region period (in ops) when the caller provides no placement and
+ *  no explicit period: Clank's dynamic regions average a few tens of
+ *  instructions between WAR-forced checkpoints. */
+inline constexpr unsigned kClankDefaultRegionOps = 32;
+
+// -- Harvesting front end ----------------------------------------------
+
+/** Default storage when neither a platform preset nor an override is
+ *  named: the NVP board's 4.7 uF ceramic. */
+inline constexpr double kDefaultCapacitance = 4.7e-6;
+/** Operating window of the MSP430 supply: run from the regulated
+ *  rail down to the brown-out threshold. */
+inline constexpr double kDefaultVHigh = 3.6;
+inline constexpr double kVLow = 1.8;
+
+// -- MOUSE-instruction translation -------------------------------------
+//
+// One MOUSE instruction touching C columns becomes a word-serial MCU
+// loop over ceil(C / 16) 16-bit words.  The per-word instruction
+// counts below are the load/ALU/store mix of the equivalent C loop
+// body; kOpsBase covers loop control and address generation.
+
+inline constexpr unsigned kWordBits = 16;
+inline constexpr unsigned kOpsBase = 2;
+/** Gates: two operand loads, the ALU op, the result store. */
+inline constexpr unsigned kOpsPerWordGate = 4;
+/** Row read/write: load, store, pointer bump. */
+inline constexpr unsigned kOpsPerWordRow = 3;
+/** Activation/preset bookkeeping: one mask word each. */
+inline constexpr unsigned kOpsPerWordCtl = 1;
+
+} // namespace mouse::mcu
+
+#endif // MOUSE_BASELINE_MCU_DATASHEET_HH

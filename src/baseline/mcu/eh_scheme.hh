@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interchangeable energy-harvesting backup schemes for the MCU
+ * baseline (docs/BASELINES.md), the eh-sim `eh_scheme` idiom: a
+ * scheme prices the checkpointing discipline — what every op pays,
+ * what an outage pays, what a restart pays — and decides where
+ * execution resumes after a power cut.
+ *
+ *   oracle  no-overhead upper bound: free, perfect resume.
+ *   bec     backup-every-cycle: NV flip-flop shadow write per op,
+ *           resume at the interrupted op.
+ *   odab    on-demand-all-backup: one just-in-time full backup when
+ *           the brown-out detector fires (the runner reserves the
+ *           backup energy as headroom), resume at the interrupted op.
+ *   clank   idempotent-region checkpointing: per-op WAR monitoring,
+ *           a checkpoint at each region boundary, resume at the last
+ *           boundary — the tail of the region is re-executed as Dead
+ *           work.
+ *
+ * Schemes are stateless and shareable; everything stream-dependent
+ * (the Clank region placement) lives in the McuProgram.
+ */
+
+#ifndef MOUSE_BASELINE_MCU_EH_SCHEME_HH
+#define MOUSE_BASELINE_MCU_EH_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/mcu/op_stream.hh"
+
+namespace mouse::mcu
+{
+
+/** One backup/restore policy of the MCU baseline. */
+class EhScheme
+{
+  public:
+    virtual ~EhScheme() = default;
+
+    /** Stable lookup key ("bec", "odab", "clank", "oracle"). */
+    virtual const char *name() const = 0;
+
+    /** Overhead added to every executed op (continuous backup). */
+    virtual double perOpEnergy() const { return 0.0; }
+    virtual double perOpSeconds() const { return 0.0; }
+
+    /** Just-in-time backup performed as the supply collapses; the
+     *  runner reserves this much buffer energy as headroom. */
+    virtual double backupEnergy() const { return 0.0; }
+    virtual double backupSeconds() const { return 0.0; }
+
+    /** State restore on power-up (after the recharge). */
+    virtual double restoreEnergy() const { return 0.0; }
+    virtual double restoreSeconds() const { return 0.0; }
+
+    /** Checkpoint written each time execution crosses a region
+     *  boundary of the program (Clank); zero for the others. */
+    virtual double checkpointEnergy() const { return 0.0; }
+    virtual double checkpointSeconds() const { return 0.0; }
+
+    /**
+     * Op index execution resumes from after an outage that cut
+     * execution just before op @p nextOp.  Backup-to-the-cycle
+     * schemes resume exactly at the cut; region schemes roll back to
+     * the region start and re-execute the tail.
+     */
+    virtual std::uint64_t
+    resumeOp(const McuProgram &prog, std::uint64_t nextOp) const
+    {
+        (void)prog;
+        return nextOp;
+    }
+};
+
+/** Scheme names in listing order ({"bec","odab","clank","oracle"}). */
+const std::vector<std::string> &ehSchemeNames();
+
+/** Build the named scheme; nullptr for an unknown name. */
+std::unique_ptr<EhScheme> makeEhScheme(const std::string &name);
+
+} // namespace mouse::mcu
+
+#endif // MOUSE_BASELINE_MCU_EH_SCHEME_HH

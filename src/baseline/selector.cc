@@ -1,0 +1,76 @@
+#include "selector.hh"
+
+#include "baseline/mcu/eh_scheme.hh"
+
+namespace mouse
+{
+
+const char *
+baselineSystemName(BaselineSystem s)
+{
+    switch (s) {
+      case BaselineSystem::kMouse:
+        return "mouse";
+      case BaselineSystem::kMcu:
+        return "mcu";
+      case BaselineSystem::kSonic:
+        return "sonic";
+    }
+    return "unknown";
+}
+
+bool
+parseBaselineSelector(const std::string &text, BaselineSelector *out,
+                      std::string *why)
+{
+    BaselineSelector sel;
+    if (text.empty() || text == "mouse") {
+        *out = sel;
+        return true;
+    }
+    if (text == "sonic") {
+        sel.system = BaselineSystem::kSonic;
+        *out = sel;
+        return true;
+    }
+    const std::string mcuPrefix = "mcu:";
+    if (text.compare(0, mcuPrefix.size(), mcuPrefix) == 0) {
+        const std::string scheme = text.substr(mcuPrefix.size());
+        if (mcu::makeEhScheme(scheme) != nullptr) {
+            sel.system = BaselineSystem::kMcu;
+            sel.scheme = scheme;
+            *out = sel;
+            return true;
+        }
+        if (why != nullptr) {
+            std::string schemes;
+            for (const std::string &s : mcu::ehSchemeNames()) {
+                if (!schemes.empty()) {
+                    schemes += ", ";
+                }
+                schemes += s;
+            }
+            *why = "unknown MCU scheme '" + scheme +
+                   "' (schemes: " + schemes + ")";
+        }
+        return false;
+    }
+    if (why != nullptr) {
+        *why = "unknown baseline selector '" + text +
+               "' (use mouse, mcu:<scheme>, or sonic)";
+    }
+    return false;
+}
+
+std::vector<std::string>
+baselineSelectorNames()
+{
+    std::vector<std::string> names{"mouse"};
+    for (const std::string &s : mcu::ehSchemeNames()) {
+        names.push_back("mcu:" + s);
+    }
+    names.push_back("sonic");
+    return names;
+}
+
+} // namespace mouse

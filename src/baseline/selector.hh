@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Baseline system/scheme selectors (docs/BASELINES.md).
+ *
+ * Every execution path that can run a comparison system — the run
+ * API (RunRequest::baseline), the SweepGrid `schemes` axis, the CLI
+ * `--scheme` flag and bench_baseline_matrix — names it with one
+ * selector string:
+ *
+ *   "mouse"         the MOUSE accelerator itself (the default; ""
+ *                   means the same)
+ *   "mcu:<scheme>"  the instruction-trace MCU baseline under one of
+ *                   the EhScheme policies (bec, odab, clank, oracle)
+ *   "sonic"         the SONIC analytic model (per-benchmark
+ *                   calibration; sweep/bench layer only — a
+ *                   RunRequest has no benchmark identity to look the
+ *                   calibration up by)
+ *
+ * parseBaselineSelector() is the single spelling gate; the typed
+ * RunError path (kBaselineSchemeUnknown) reports its verdict for API
+ * users.
+ */
+
+#ifndef MOUSE_BASELINE_SELECTOR_HH
+#define MOUSE_BASELINE_SELECTOR_HH
+
+#include <string>
+#include <vector>
+
+namespace mouse
+{
+
+/** Which system a selector names. */
+enum class BaselineSystem
+{
+    kMouse = 0,
+    kMcu,
+    kSonic,
+};
+
+/** Stable name of a system ("mouse", "mcu", "sonic"). */
+const char *baselineSystemName(BaselineSystem s);
+
+/** A parsed selector: the system plus its scheme (empty for mouse
+ *  and sonic). */
+struct BaselineSelector
+{
+    BaselineSystem system = BaselineSystem::kMouse;
+    std::string scheme;
+};
+
+/**
+ * Parse @p text ("", "mouse", "mcu:<scheme>", "sonic") into @p out.
+ * False on an unknown system or scheme, with one sentence in
+ * @p why (when given) naming the valid spellings.
+ */
+bool parseBaselineSelector(const std::string &text,
+                           BaselineSelector *out,
+                           std::string *why = nullptr);
+
+/** Every valid selector, in listing order ("mouse", "mcu:bec", ...,
+ *  "sonic") — CLI help and error messages. */
+std::vector<std::string> baselineSelectorNames();
+
+} // namespace mouse
+
+#endif // MOUSE_BASELINE_SELECTOR_HH

@@ -1,0 +1,32 @@
+#include "sonic_scheme.hh"
+
+namespace mouse
+{
+
+std::optional<SonicBenchmark>
+sonicBenchmarkFor(const std::string &benchmarkName)
+{
+    if (benchmarkName == "SVM MNIST" ||
+        benchmarkName == sonicMnist().name) {
+        return sonicMnist();
+    }
+    if (benchmarkName == "SVM HAR" ||
+        benchmarkName == sonicHar().name) {
+        return sonicHar();
+    }
+    return std::nullopt;
+}
+
+RunStats
+sonicRunContinuous(const SonicBenchmark &bench)
+{
+    return SonicModel(bench).runContinuous();
+}
+
+RunStats
+sonicRunHarvested(const SonicBenchmark &bench, Watts power)
+{
+    return SonicModel(bench).runHarvested(power);
+}
+
+} // namespace mouse

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SONIC behind the baseline-scheme interface (docs/BASELINES.md).
+ *
+ * The SONIC analytic model (sonic.hh) predates the selector-driven
+ * baseline dispatch; these entry points re-express it as the "sonic"
+ * scheme so benches and sweeps stop constructing SonicModel directly
+ * (the mouse_lint `sonic-model` rule bans that outside
+ * src/baseline).  Results are bit-identical to the old
+ * SonicModel::runContinuous()/runHarvested() at matched parameters —
+ * a differential test pins this.
+ */
+
+#ifndef MOUSE_BASELINE_SONIC_SCHEME_HH
+#define MOUSE_BASELINE_SONIC_SCHEME_HH
+
+#include <optional>
+#include <string>
+
+#include "baseline/sonic.hh"
+
+namespace mouse
+{
+
+/**
+ * SONIC calibration for the named evaluation benchmark, or nullopt
+ * when the paper reports no SONIC row for it.  Matches the
+ * exp::paperBenchmarks() spellings ("SVM MNIST", "SVM HAR").
+ */
+std::optional<SonicBenchmark>
+sonicBenchmarkFor(const std::string &benchmarkName);
+
+/** Continuous-power run of the "sonic" scheme (bit-identical to
+ *  SonicModel::runContinuous at default parameters). */
+RunStats sonicRunContinuous(const SonicBenchmark &bench);
+
+/** Harvested run of the "sonic" scheme at mean power @p power
+ *  (bit-identical to SonicModel::runHarvested). */
+RunStats sonicRunHarvested(const SonicBenchmark &bench,
+                           Watts power);
+
+} // namespace mouse
+
+#endif // MOUSE_BASELINE_SONIC_SCHEME_HH

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "baseline/mcu/mcu_model.hh"
+#include "baseline/selector.hh"
 #include "common/logging.hh"
 #include "obs/metrics_hub.hh"
 
@@ -22,6 +24,7 @@ Accelerator::Accelerator(const MouseConfig &cfg) : cfg_(cfg)
 void
 Accelerator::loadProgram(const Program &prog)
 {
+    program_ = prog;
     imem_->load(prog.encode());
     controller_->reset();
 }
@@ -40,6 +43,53 @@ Accelerator::execute(const RunRequest &req)
         res.meta.tech = lib_->config().name();
         res.meta.margin = cfg_.gateMargin;
         res.meta.label = req.label;
+        return res;
+    }
+    BaselineSelector sel;
+    parseBaselineSelector(req.baseline, &sel);
+    if (sel.system == BaselineSystem::kMcu) {
+        // The MCU baseline replays the workload as an op stream: the
+        // request's trace under Trace fidelity, the retained loaded
+        // program otherwise.  Same harvesting environment, same
+        // RunStats taxonomy — only the machine differs.
+        const std::unique_ptr<mcu::EhScheme> scheme =
+            mcu::makeEhScheme(sel.scheme);
+        mcu::McuProgram mp;
+        if (req.fidelity == Fidelity::Trace) {
+            mp = mcu::mcuProgramFromTrace(
+                *req.trace, req.harvest.checkpointPeriod > 1
+                                ? req.harvest.checkpointPeriod
+                                : 0);
+        } else {
+            mouse_assert(program_.has_value(),
+                         "MCU baseline needs a loaded program "
+                         "(loadProgram) under Functional fidelity");
+            mp = mcu::mcuProgramFromProgram(
+                *program_, req.harvest.checkpointPeriod > 1
+                               ? req.harvest.checkpointPeriod
+                               : 0);
+        }
+        res.stats = harvested
+                        ? mcu::mcuRunHarvested(mp, *scheme,
+                                               req.harvest)
+                        : mcu::mcuRunContinuous(mp, *scheme);
+        res.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        res.meta.tech = lib_->config().name();
+        res.meta.margin = cfg_.gateMargin;
+        res.meta.label = req.label;
+        res.meta.system = baselineSystemName(sel.system);
+        res.meta.scheme = sel.scheme;
+        if (harvested) {
+            res.meta.power = req.harvest.source.meanPower();
+            res.meta.source = req.harvest.source.name();
+            res.meta.platform = req.harvest.platform;
+            res.meta.seed = req.harvest.seed;
+            res.meta.checkpointPeriod =
+                req.harvest.checkpointPeriod;
+        }
         return res;
     }
     obs::Telemetry telem = obs::Telemetry::make(req.telemetry);

@@ -153,6 +153,10 @@ class Accelerator
     void runOnePending();
 
     MouseConfig cfg_;
+    /** Retained copy of the last loadProgram() argument: the MCU
+     *  baseline replays it as an op stream (Functional fidelity has
+     *  no trace to derive one from). */
+    std::optional<Program> program_;
     std::unique_ptr<GateLibrary> lib_;
     std::unique_ptr<EnergyModel> energy_;
     std::unique_ptr<TileGrid> grid_;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "baseline/selector.hh"
 #include "common/logging.hh"
 
 namespace mouse
@@ -50,6 +51,8 @@ runErrorName(RunError e)
         return "harvest_source_invalid";
       case RunError::kHarvestPlatformUnknown:
         return "harvest_platform_unknown";
+      case RunError::kBaselineSchemeUnknown:
+        return "baseline_scheme_unknown";
     }
     return "unknown";
 }
@@ -84,6 +87,12 @@ runErrorMessage(RunError e)
         return "req.harvest.platform names no preset; see "
                "platformNames() (harvest/platform.hh) for the "
                "catalog";
+      case RunError::kBaselineSchemeUnknown:
+        return "req.baseline names no executable system/scheme for "
+               "this request: use \"mouse\" or \"mcu:<scheme>\" "
+               "(baselineSelectorNames(), baseline/selector.hh); "
+               "\"sonic\" and Scheduled-power MCU runs live at the "
+               "sweep/campaign layer";
     }
     return "unknown run error";
 }
@@ -115,6 +124,20 @@ validateRunRequest(const RunRequest &req)
             platformByName(req.harvest.platform) == nullptr) {
             return RunError::kHarvestPlatformUnknown;
         }
+    }
+    BaselineSelector sel;
+    if (!parseBaselineSelector(req.baseline, &sel)) {
+        return RunError::kBaselineSchemeUnknown;
+    }
+    if (sel.system == BaselineSystem::kSonic) {
+        // A RunRequest has no benchmark identity to look the SONIC
+        // calibration up by; sweeps dispatch "sonic" themselves.
+        return RunError::kBaselineSchemeUnknown;
+    }
+    if (sel.system != BaselineSystem::kMouse && scheduled) {
+        // Scripted micro-step cuts are a bit-exact-machine concept;
+        // MCU fault injection goes through inject/mcu_campaign.hh.
+        return RunError::kBaselineSchemeUnknown;
     }
     return RunError::kNone;
 }
@@ -183,6 +206,13 @@ RunRequestBuilder::scheduled(const OutageSchedule &s,
     req_.trace = nullptr;
     req_.schedule = observe(s);
     req_.maxAttempts = max_attempts;
+    return *this;
+}
+
+RunRequestBuilder &
+RunRequestBuilder::baselineScheme(std::string selector)
+{
+    req_.baseline = std::move(selector);
     return *this;
 }
 
@@ -279,6 +309,8 @@ RunResult::toJson() const
     j += "\"index\":" + num(static_cast<std::uint64_t>(meta.index));
     j += ",\"tech\":\"" + jsonEscape(meta.tech) + "\"";
     j += ",\"benchmark\":\"" + jsonEscape(meta.benchmark) + "\"";
+    j += ",\"system\":\"" + jsonEscape(meta.system) + "\"";
+    j += ",\"scheme\":\"" + jsonEscape(meta.scheme) + "\"";
     j += ",\"power_w\":" + num(meta.power);
     j += ",\"source\":\"" + jsonEscape(meta.source) + "\"";
     j += ",\"platform\":\"" + jsonEscape(meta.platform) + "\"";

@@ -79,6 +79,18 @@ struct RunRequest
      * observer with the same lifetime contract as `schedule`.
      */
     ObserverPtr<const Trace> trace;
+    /**
+     * Baseline system/scheme selector (baseline/selector.hh):
+     * "mouse" (or empty) runs the MOUSE accelerator; "mcu:<scheme>"
+     * replays the same workload on the instruction-trace MCU
+     * baseline under the named EhScheme (bec, odab, clank, oracle).
+     * "sonic" is a sweep-level scheme only — a RunRequest carries no
+     * benchmark identity to look its calibration up by — and is
+     * rejected here with kBaselineSchemeUnknown, as are Scheduled
+     * runs of non-mouse systems (MCU fault injection goes through
+     * inject/mcu_campaign.hh).  See docs/BASELINES.md.
+     */
+    std::string baseline = "mouse";
     /** Free-form tag echoed into the result's metadata. */
     std::string label;
     /**
@@ -116,6 +128,11 @@ enum class RunError
     /** Harvested power naming a platform preset that is not in
      *  harvest/platform.hh's catalog. */
     kHarvestPlatformUnknown,
+    /** req.baseline names no system/scheme this request can execute:
+     *  an unparseable selector, an unknown MCU scheme, "sonic" (which
+     *  only sweeps can calibrate), or a non-mouse system under
+     *  Scheduled power. */
+    kBaselineSchemeUnknown,
 };
 
 /** Stable machine-readable name of a RunError ("trace_missing"). */
@@ -171,6 +188,11 @@ class RunRequestBuilder
     RunRequestBuilder &scheduled(const OutageSchedule &s,
                                  std::uint64_t max_attempts = 0);
 
+    /** Baseline selector ("mouse", "mcu:<scheme>"); build() asserts
+     *  it names something executable, so unvalidated user input goes
+     *  through validateRunRequest() on a plain request instead. */
+    RunRequestBuilder &baselineScheme(std::string selector);
+
     RunRequestBuilder &label(std::string l);
     RunRequestBuilder &telemetry(const obs::TraceConfig &cfg);
 
@@ -188,6 +210,11 @@ struct PointMeta
     std::size_t index = 0;
     std::string tech;
     std::string benchmark;
+    /** Executing system ("mouse", "mcu", "sonic"); schema v6. */
+    std::string system = "mouse";
+    /** Backup scheme within the system ("bec", "odab", "clank",
+     *  "oracle"); empty for mouse and sonic. */
+    std::string scheme;
     /** Headline harvester power (constant power, or the mean over
      *  one period of a trace source); 0 means continuous power. */
     Watts power = 0.0;

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "baseline/mcu/mcu_model.hh"
+#include "baseline/selector.hh"
+#include "baseline/sonic_scheme.hh"
 #include "common/logging.hh"
 #include "exp/names.hh"
 #include "obs/metrics_hub.hh"
@@ -149,6 +152,9 @@ ExperimentRunner::run(const SweepGrid &grid) const
         if (!grid.platforms.empty()) {
             rest /= grid.platforms.size();
         }
+        if (!grid.schemes.empty()) {
+            rest /= grid.schemes.size();
+        }
         const std::size_t tech_index = rest / grid.benchmarks.size();
         const std::size_t ctx =
             tech_index * grid.margins.size() + margin_index;
@@ -162,7 +168,36 @@ ExperimentRunner::run(const SweepGrid &grid) const
         // same aggregate bit for bit.
         obs::Telemetry telem = obs::Telemetry::make(grid.telemetry);
         obs::Telemetry *tp = telem.enabled() ? &telem : nullptr;
-        if (point.continuous()) {
+        // Scheme dispatch: the schemes axis selects which system
+        // simulates this point.  Telemetry channels are MOUSE
+        // concepts; baseline points leave their sinks empty.
+        BaselineSelector sel;
+        if (!parseBaselineSelector(point.scheme, &sel)) {
+            r.error = RunError::kBaselineSchemeUnknown;
+        } else if (sel.system == BaselineSystem::kMcu) {
+            const auto scheme = mcu::makeEhScheme(sel.scheme);
+            const mcu::McuProgram mp = mcu::mcuProgramFromTrace(
+                trace, point.checkpointPeriod > 1
+                           ? point.checkpointPeriod
+                           : 0);
+            r.stats =
+                point.continuous()
+                    ? mcu::mcuRunContinuous(mp, *scheme)
+                    : mcu::mcuRunHarvested(mp, *scheme,
+                                           grid.harvestFor(point));
+        } else if (sel.system == BaselineSystem::kSonic) {
+            const auto sb = sonicBenchmarkFor(
+                grid.benchmarks[point.benchmark].name);
+            if (!sb) {
+                // No SONIC calibration for this benchmark: a typed
+                // per-point rejection, exactly like the run API.
+                r.error = RunError::kBaselineSchemeUnknown;
+            } else {
+                r.stats = point.continuous()
+                              ? sonicRunContinuous(*sb)
+                              : sonicRunHarvested(*sb, point.power);
+            }
+        } else if (point.continuous()) {
             r.stats = runContinuousTrace(trace, energy, tp);
         } else {
             r.stats = runHarvestedTrace(trace, energy,
@@ -172,6 +207,8 @@ ExperimentRunner::run(const SweepGrid &grid) const
         r.meta.index = point.index;
         r.meta.tech = names::techName(point.tech);
         r.meta.benchmark = grid.benchmarks[point.benchmark].name;
+        r.meta.system = baselineSystemName(sel.system);
+        r.meta.scheme = sel.scheme;
         r.meta.power = point.continuous() ? 0.0 : point.power;
         if (!point.continuous()) {
             r.meta.source = point.source.name();

@@ -25,9 +25,11 @@ SweepGrid::size() const
         sources.empty() ? powers.size() : sources.size();
     const std::size_t platformAxis =
         platforms.empty() ? 1 : platforms.size();
+    const std::size_t schemeAxis =
+        schemes.empty() ? 1 : schemes.size();
     return techs.size() * benchmarks.size() * powerAxis *
-           platformAxis * checkpointPeriods.size() * margins.size() *
-           seedsPerPoint;
+           platformAxis * schemeAxis * checkpointPeriods.size() *
+           margins.size() * seedsPerPoint;
 }
 
 SweepPoint
@@ -48,11 +50,11 @@ SweepGrid::at(std::size_t index) const
     p.seed = deriveSeed(rootSeed, index);
 
     // Mixed-radix decode, fastest axis last in the declaration
-    // order: tech, benchmark, [platform,] power|source,
+    // order: tech, benchmark, [scheme,] [platform,] power|source,
     // checkpointPeriod, margin, seed.  The sources axis occupies the
-    // powers slot and the platform axis contributes radix 1 when
-    // empty, so grids predating both decode exactly as they always
-    // have (same index -> point mapping, same derived seeds).
+    // powers slot and the platform/scheme axes contribute radix 1
+    // when empty, so grids predating them decode exactly as they
+    // always have (same index -> point mapping, same derived seeds).
     std::size_t rest = index;
     p.seedSlot = rest % seedsPerPoint;
     rest /= seedsPerPoint;
@@ -75,6 +77,10 @@ SweepGrid::at(std::size_t index) const
     if (!platforms.empty()) {
         p.platform = platforms[rest % platforms.size()];
         rest /= platforms.size();
+    }
+    if (!schemes.empty()) {
+        p.scheme = schemes[rest % schemes.size()];
+        rest /= schemes.size();
     }
     p.benchmark = rest % benchmarks.size();
     rest /= benchmarks.size();

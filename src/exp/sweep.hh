@@ -50,6 +50,10 @@ struct SweepPoint
     SourceSpec source;
     /** Platform preset name; empty = tech defaults. */
     std::string platform;
+    /** Baseline selector from the grid's schemes axis ("mouse",
+     *  "mcu:<scheme>", "sonic"); empty when the grid has no schemes
+     *  axis, which runs MOUSE as always. */
+    std::string scheme;
     unsigned checkpointPeriod = 1;
     double margin = kDefaultGateMargin;
     /** Position along the Monte-Carlo seed axis. */
@@ -90,6 +94,15 @@ struct SweepGrid
      * radix 1 — i.e. nothing — keeping old grids bit-identical.
      */
     std::vector<std::string> platforms;
+    /**
+     * System/scheme axis: baseline selectors by name
+     * (baseline/selector.hh — "mouse", "mcu:bec", "mcu:odab",
+     * "mcu:clank", "mcu:oracle", "sonic"), decoded between the
+     * platform slot and the benchmark slot.  Empty (the default)
+     * contributes radix 1 and every point runs MOUSE, keeping old
+     * grids bit-identical.  See docs/BASELINES.md.
+     */
+    std::vector<std::string> schemes;
     std::vector<unsigned> checkpointPeriods{1};
     std::vector<double> margins{kDefaultGateMargin};
     /** Monte-Carlo axis: independent derived seeds per point. */

@@ -1,0 +1,18 @@
+// Fixture: src/baseline owns the SONIC model and its scheme entry
+// points, so direct SonicModel use is allowed there without a
+// suppression.
+struct SonicBenchmark
+{
+};
+
+struct SonicModel
+{
+    explicit SonicModel(const SonicBenchmark &) {}
+    double runContinuous() const { return 0.0; }
+};
+
+double
+sonicRunContinuous(const SonicBenchmark &bench)
+{
+    return SonicModel(bench).runContinuous();
+}

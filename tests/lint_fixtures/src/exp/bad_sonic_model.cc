@@ -1,0 +1,13 @@
+// Fixture: direct SonicModel construction outside src/baseline must
+// be flagged by sonic-model.  A mention in a comment is fine:
+// SonicModel here is not a finding.
+struct SonicBenchmark
+{
+};
+
+double
+runReference(const SonicBenchmark &bench)
+{
+    SonicModel sonic(bench);          // finding (construction)
+    return sonic.runContinuous();     // ok (member call, no name)
+}

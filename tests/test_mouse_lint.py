@@ -93,6 +93,16 @@ class LintFixtureCorpus(unittest.TestCase):
         self.assertNotIn("src/harvest/allowed_source_power.cc",
                          self.by_file)
 
+    def test_sonic_model_bad(self):
+        path = "src/exp/bad_sonic_model.cc"
+        # Only the code mention: the comment on line 3 is silent.
+        rules = [(f["line"], f["rule"]) for f in self.by_file[path]]
+        self.assertEqual(rules, [(11, "sonic-model")])
+
+    def test_sonic_model_allowed_under_baseline(self):
+        self.assertNotIn("src/baseline/allowed_sonic_model.cc",
+                         self.by_file)
+
     def test_good_files_are_silent(self):
         good = [p for p in self.by_file
                 if "/good_" in p or "/allowed_" in p
@@ -136,7 +146,8 @@ class LintReportSchema(unittest.TestCase):
         rule_ids = {x["id"] for x in r["rules"]}
         self.assertEqual(rule_ids, {
             "unordered-iteration", "host-clock", "schema-constants",
-            "obs-hook-args", "float-accumulate", "source-power"})
+            "obs-hook-args", "float-accumulate", "source-power",
+            "sonic-model"})
         for x in r["rules"]:
             self.assertTrue(x["description"])
 

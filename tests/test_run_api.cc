@@ -431,7 +431,7 @@ TEST(RunApi, SubmittedInvalidRequestCarriesTypedError)
     EXPECT_TRUE(res.serve.present);
 }
 
-TEST(RunApi, ServeJsonBlockIsSchemaV5)
+TEST(RunApi, ServeJsonBlockIsSchemaV6)
 {
     Accelerator acc(smallConfig());
     acc.loadProgram(adderProgram(acc));
@@ -440,7 +440,7 @@ TEST(RunApi, ServeJsonBlockIsSchemaV5)
     // mouse-lint: allow(schema-constants) -- golden pin: the test
     // hardcodes the published version on purpose, so an accidental
     // bump of the central constant fails here.
-    EXPECT_NE(direct.toJson().find("\"schema\":5"),
+    EXPECT_NE(direct.toJson().find("\"schema\":6"),
               std::string::npos);
     EXPECT_EQ(direct.toJson().find("\"serve\":"),
               std::string::npos);

@@ -272,7 +272,7 @@ TEST(Serve, FlushCutsPartialBatchesAndCountsIdleSlots)
     EXPECT_EQ(reg->counterValue("serve.requests"), 3.0);
 }
 
-TEST(Serve, ReportJsonCarriesSchemaV5ServeBlock)
+TEST(Serve, ReportJsonCarriesSchemaV6ServeBlock)
 {
     Rng modelRng(31);
     InferenceService svc(smallConfig(2));
@@ -286,7 +286,7 @@ TEST(Serve, ReportJsonCarriesSchemaV5ServeBlock)
     // mouse-lint: allow(schema-constants) -- golden pin: the test
     // hardcodes the published version on purpose, so an accidental
     // bump of the central constant fails here.
-    EXPECT_NE(j.find("\"schema\":5"), std::string::npos);
+    EXPECT_NE(j.find("\"schema\":6"), std::string::npos);
     EXPECT_NE(j.find("\"serve_report\":"), std::string::npos);
     EXPECT_NE(j.find("\"requests\":6"), std::string::npos);
     EXPECT_NE(j.find("\"throughput_per_s\":"), std::string::npos);

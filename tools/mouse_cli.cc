@@ -69,6 +69,7 @@
 #include <unistd.h>
 #endif
 
+#include "baseline/selector.hh"
 #include "common/rng.hh"
 #include "common/schema_versions.hh"
 #include "energy/area_model.hh"
@@ -97,9 +98,10 @@ usage()
         "  info    [--tech T] [--json]\n"
         "  bench   NAME [--tech T] [--power WATTS | --power-trace "
         "SRC]\n"
-        "          [--platform P] [--continuous] [--json]\n"
+        "          [--platform P] [--scheme SEL] [--continuous] "
+        "[--json]\n"
         "  sweep   NAME [--tech T] [--threads N] [--power-trace SRC]\n"
-        "          [--platform P] [--json]\n"
+        "          [--platform P] [--scheme SEL] [--json]\n"
         "  analyze NAME [--tech T]\n"
         "  area    MB [--tech T]\n"
         "  inject  [--workload W] [--sonic-window N] [--no-journal]\n"
@@ -130,7 +132,11 @@ usage()
         "--power-trace SRC: a corpus trace name (solar-day-night,\n"
         "  rf-bursty, piezo-impulse) or a trace_schema-1 JSON file;\n"
         "--platform P: mementos | nvp | batteryless capacitor preset\n"
-        "  (docs/HARVESTING.md)\n");
+        "  (docs/HARVESTING.md)\n"
+        "--scheme SEL: which system runs the point — mouse | "
+        "mcu:bec |\n"
+        "  mcu:odab | mcu:clank | mcu:oracle | sonic "
+        "(docs/BASELINES.md)\n");
     return 2;
 }
 
@@ -186,6 +192,9 @@ struct Options
     std::string jsonOut;
     /** Show the stderr progress line even when not a terminal. */
     bool progress = false;
+    /** bench/sweep: baseline system/scheme selector
+     *  (baseline/selector.hh); empty runs MOUSE. */
+    std::string scheme;
     /** inject: campaign workload name (inject/workload.hh). */
     std::string workload = "small-svm";
     /** inject: checkpoint window; 1 = MOUSE's per-cycle protocol,
@@ -412,7 +421,7 @@ constexpr const char *kAllFlags[] = {
     "--requests",     "--model",      "--batch",
     "--stream",       "--metrics-out", "--metrics-interval-ms",
     "--watchdog-ms",  "--harvest-power", "--harvest-cap",
-    "--power-trace",  "--platform",
+    "--power-trace",  "--platform",    "--scheme",
 };
 
 /** Flags that are pure switches; every other flag consumes a value. */
@@ -458,13 +467,13 @@ constexpr const char *kBenchFlags[] = {
     "--tech",      "--power",        "--continuous",
     "--json",      "--stats-out",    "--trace-out",
     "--waveform-out", "--json-out",  "--progress",
-    "--power-trace", "--platform",
+    "--power-trace", "--platform",   "--scheme",
 };
 constexpr const char *kSweepFlags[] = {
     "--tech",      "--threads",      "--json",
     "--stats-out", "--trace-out",    "--waveform-out",
     "--json-out",  "--progress",     "--power-trace",
-    "--platform",
+    "--platform",  "--scheme",
 };
 constexpr const char *kAnalyzeFlags[] = {"--tech"};
 constexpr const char *kAreaFlags[] = {"--tech"};
@@ -707,6 +716,20 @@ parseFlags(int argc, char **argv, int start, const CommandSpec &spec,
             }
         } else if (!std::strcmp(flag, "--power-trace")) {
             opts.powerTrace = val;
+        } else if (!std::strcmp(flag, "--scheme")) {
+            BaselineSelector sel;
+            std::string why;
+            if (!parseBaselineSelector(val, &sel, &why)) {
+                std::fprintf(stderr,
+                             "--scheme: %s (want:", why.c_str());
+                for (const std::string &name :
+                     baselineSelectorNames()) {
+                    std::fprintf(stderr, " %s", name.c_str());
+                }
+                std::fprintf(stderr, ")\n");
+                return false;
+            }
+            opts.scheme = val;
         } else if (!std::strcmp(flag, "--platform")) {
             if (platformByName(val) == nullptr) {
                 std::fprintf(stderr,
@@ -851,6 +874,9 @@ cmdBench(const exp::Benchmark &b, const Options &opts)
     if (!opts.platformName.empty()) {
         grid.platforms = {opts.platformName};
     }
+    if (!opts.scheme.empty()) {
+        grid.schemes = {opts.scheme};
+    }
     grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(1);
     const exp::SweepResult res = runner.run(grid);
@@ -905,6 +931,9 @@ cmdSweep(const exp::Benchmark &b, const Options &opts)
     }
     if (!opts.platformName.empty()) {
         grid.platforms = {opts.platformName};
+    }
+    if (!opts.scheme.empty()) {
+        grid.schemes = {opts.scheme};
     }
     grid.telemetry = out.traceConfig();
     exp::ExperimentRunner runner(opts.threads);

@@ -443,6 +443,27 @@ def check_source_power(sf, findings):
                 sf.raw_lines[i - 1]))
 
 
+SONIC_MODEL_RE = re.compile(r"\bSonicModel\b")
+
+
+@rule("sonic-model",
+      "SONIC runs through the scheme entry points of "
+      "baseline/sonic_scheme.hh (or the \"sonic\" selector); outside "
+      "src/baseline the SonicModel class must not be used directly")
+def check_sonic_model(sf, findings):
+    if under(sf.relpath, ("src/baseline",)):
+        return
+    for i, line in enumerate(sf.code_lines, start=1):
+        if SONIC_MODEL_RE.search(line):
+            findings.append(Finding(
+                "sonic-model", sf.relpath, i,
+                "direct SonicModel use outside src/baseline; call "
+                "sonicRunContinuous/sonicRunHarvested "
+                "(baseline/sonic_scheme.hh) or select the \"sonic\" "
+                "scheme so every system goes through one dispatch",
+                sf.raw_lines[i - 1]))
+
+
 # -- File discovery ---------------------------------------------------
 
 def load_compile_commands(path, root):
